@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Controller Fabric Filter Harness List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Option Printf

@@ -1,0 +1,1 @@
+bench/bench_copyshare.ml: Audit Controller Copy_op Fabric Filter Harness Int List Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Opennf_trace Opennf_util Option Printf Share

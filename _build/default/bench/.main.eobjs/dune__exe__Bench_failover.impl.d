@@ -1,0 +1,1 @@
+bench/bench_failover.ml: Controller Copy_op Fabric Filter Fun Harness Ipaddr List Opennf Opennf_apps Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Opennf_trace Option Printf String

@@ -1,0 +1,1 @@
+bench/bench_fig10.ml: Harness List Move Opennf Opennf_net Opennf_sb Opennf_util Option

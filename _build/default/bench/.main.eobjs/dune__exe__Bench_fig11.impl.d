@@ -1,0 +1,1 @@
+bench/bench_fig11.ml: Harness List Move Opennf Opennf_net Opennf_sb Option Printf

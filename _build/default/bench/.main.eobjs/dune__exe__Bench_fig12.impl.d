@@ -1,0 +1,1 @@
+bench/bench_fig12.ml: Audit Controller Fabric Filter Harness List Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Opennf_util Printf

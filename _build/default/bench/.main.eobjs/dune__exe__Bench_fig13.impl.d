@@ -1,0 +1,1 @@
+bench/bench_fig13.ml: Controller Fabric Filter Flow Harness Ipaddr List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Printf

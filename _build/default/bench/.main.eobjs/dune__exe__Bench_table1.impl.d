@@ -1,0 +1,1 @@
+bench/bench_table1.ml: Array Controller Copy_op Fabric Filter Harness Ipaddr List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Opennf_trace Printf

@@ -1,0 +1,1 @@
+bench/bench_table2.ml: Filename Harness List Printf String Sys

@@ -1,0 +1,1 @@
+bench/harness.ml: Audit Controller Fabric Filter Flow Int List Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Opennf_util Printf String

@@ -1,0 +1,121 @@
+(* Micro-benchmarks (Bechamel): real CPU cost of the hot primitives the
+   simulator and controller are built on. One Test.make per primitive;
+   results are OLS estimates of ns/iteration. *)
+
+open Bechamel
+open Toolkit
+module H = Harness
+open Opennf_net
+
+let prads_state_sample () =
+  (* A realistic serialized-state blob: many PRADS-like chunks. *)
+  let prads = Opennf_nfs.Prads.create () in
+  let impl = Opennf_nfs.Prads.impl prads in
+  let gen = Opennf_trace.Gen.create ~seed:3 () in
+  let schedule, _ =
+    Opennf_trace.Gen.steady_flows gen ~flows:100 ~rate:1000.0 ~start:0.0
+      ~duration:1.0 ()
+  in
+  List.iter (fun (_, p) -> impl.Opennf_sb.Nf_api.process_packet p) schedule;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun flowid ->
+      match impl.Opennf_sb.Nf_api.export_perflow flowid with
+      | Some chunk -> Buffer.add_string buf chunk.Opennf_state.Chunk.data
+      | None -> ())
+    (impl.Opennf_sb.Nf_api.list_perflow Filter.any);
+  Buffer.contents buf
+
+let flowtable_with_rules n =
+  let table = Flowtable.create () in
+  for i = 0 to n - 1 do
+    Flowtable.install table ~cookie:i ~priority:(100 + (i mod 7))
+      ~filters:
+        [ Filter.of_src_host (Ipaddr.v 10 ((i / 250) mod 250) 0 (1 + (i mod 250))) ]
+      ~actions:[ Flowtable.Forward "nf" ]
+  done;
+  table
+
+let tests () =
+  let state = prads_state_sample () in
+  let compressed = Opennf_util.Lz.compress state in
+  let table = flowtable_with_rules 1000 in
+  let probe =
+    Packet.create ~id:0
+      ~key:
+        (Flow.make ~src:(Ipaddr.v 10 1 0 77) ~dst:(Ipaddr.v 172 16 0 1)
+           ~sport:12345 ~dport:80 ())
+      ~sent_at:0.0 ()
+  in
+  let ids = Opennf_nfs.Ids.create () in
+  let ids_impl = Opennf_nfs.Ids.impl ids in
+  let syn =
+    Packet.create ~id:1
+      ~key:
+        (Flow.make ~src:(Ipaddr.v 10 1 0 8) ~dst:(Ipaddr.v 172 16 0 2)
+           ~sport:2222 ~dport:80 ())
+      ~flags:[ Syn ] ~sent_at:0.0 ()
+  in
+  [
+    Test.make ~name:"lz/compress-prads-state"
+      (Staged.stage (fun () -> Opennf_util.Lz.compress state));
+    Test.make ~name:"lz/decompress-prads-state"
+      (Staged.stage (fun () -> Opennf_util.Lz.decompress compressed));
+    Test.make ~name:"flowtable/lookup-1000-rules"
+      (Staged.stage (fun () -> Flowtable.lookup table probe));
+    Test.make ~name:"digest/feed-1400B"
+      (Staged.stage
+         (let block = String.make 1400 'x' in
+          fun () ->
+            let d = Opennf_util.Hashing.Digest_sig.create () in
+            Opennf_util.Hashing.Digest_sig.feed d block;
+            Opennf_util.Hashing.Digest_sig.value d));
+    Test.make ~name:"engine/schedule-and-run-1000"
+      (Staged.stage (fun () ->
+           let e = Opennf_sim.Engine.create () in
+           for i = 0 to 999 do
+             Opennf_sim.Engine.schedule e
+               ~delay:(float_of_int (i mod 97) /. 1000.0)
+               ignore
+           done;
+           Opennf_sim.Engine.run e));
+    Test.make ~name:"ids/process-syn"
+      (Staged.stage (fun () -> ids_impl.Opennf_sb.Nf_api.process_packet syn));
+    Test.make ~name:"filter/matches-flow"
+      (Staged.stage
+         (let f = Filter.of_src_prefix (Ipaddr.Prefix.of_string "10.0.0.0/8") in
+          fun () -> Filter.matches_flow f probe.Packet.key));
+  ]
+
+let run () =
+  H.section "Micro-benchmarks (Bechamel, monotonic clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raws =
+    Benchmark.all cfg [ Instance.monotonic_clock ]
+      (Test.make_grouped ~name:"opennf" (tests ()))
+  in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| "run" |])
+      Instance.monotonic_clock raws
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some (v :: _) -> Printf.sprintf "%.1f" v
+          | Some [] | None -> "-"
+        in
+        let r2 =
+          match Analyze.OLS.r_square result with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"
+        in
+        [ name; ns; r2 ] :: acc)
+      ols []
+    |> List.sort compare
+  in
+  H.table ~header:[ "benchmark"; "ns/run"; "r²" ] rows
+
+let () = H.register ~id:"micro" ~descr:"Bechamel micro-benchmarks" run

@@ -1,0 +1,112 @@
+(* Table 1: benefits of granular control — handling of Squid's
+   multi-flow state (cache entries) when a second instance takes over
+   one client's traffic.
+
+   Paper: ignore ⇒ Squid2 crashes; copy-client ⇒ 39 hits on Squid2 with
+   3.8 MB transferred; copy-all ⇒ 50 hits with 54.4 MB (14.2x more). *)
+
+module Proc = Opennf_sim.Proc
+module Costs = Opennf_sb.Costs
+open Opennf_net
+open Opennf
+module H = Harness
+
+type approach = Ignore | Copy_client | Copy_all
+
+let label = function
+  | Ignore -> "ignore"
+  | Copy_client -> "copy client"
+  | Copy_all -> "copy all"
+
+let client1 = Ipaddr.v 10 0 0 11
+let client2 = Ipaddr.v 10 0 0 22
+let proxy_ip = Ipaddr.v 10 0 0 1
+let urls = Array.init 40 (fun i -> Printf.sprintf "/objects/item-%02d" i)
+
+let run_approach approach =
+  (* Bulk state transfer: the per-byte controller cost calibrated for
+     small control messages would bill a 55 MB cache at 2 MB/s; real
+     controllers stream bulk state, so Table 1 uses a bulk-rate config
+     (the experiment's point is bytes and hits, not controller time). *)
+  let config =
+    {
+      Controller.default_config with
+      Controller.msg_cost_per_byte = 5e-9;
+    }
+  in
+  let fab = Fabric.create ~seed:55 ~config () in
+  let squid1 = Opennf_nfs.Proxy.create () in
+  let squid2 = Opennf_nfs.Proxy.create () in
+  let nf1, _ =
+    Fabric.add_nf fab ~name:"squid1" ~impl:(Opennf_nfs.Proxy.impl squid1)
+      ~costs:Costs.squid
+  in
+  let nf2, _ =
+    Fabric.add_nf fab ~name:"squid2" ~impl:(Opennf_nfs.Proxy.impl squid2)
+      ~costs:Costs.squid
+  in
+  let gen = Opennf_trace.Gen.create ~seed:8 () in
+  let mk_requests client =
+    Opennf_trace.Gen.proxy_requests gen ~client ~proxy:proxy_ip ~urls
+      ~requests:100 ~start:0.5 ~rate:2.5
+      ~object_size:Opennf_nfs.Proxy.object_size ~cont_gap:0.05 ()
+  in
+  let schedule = Opennf_trace.Gen.merge [ mk_requests client1; mk_requests client2 ] in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  let transferred = ref 0 in
+  Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any nf1;
+      (* After 20 s, bring up Squid2 for client2's traffic. *)
+      Proc.sleep 20.0;
+      (match approach with
+      | Ignore -> ()
+      | Copy_client ->
+        let report =
+          Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2
+            ~filter:(Filter.of_src_host client2)
+            ~scope:[ Opennf_state.Scope.Multi ]
+            ()
+        in
+        transferred := report.Copy_op.state_bytes
+      | Copy_all ->
+        let report =
+          Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
+            ~scope:[ Opennf_state.Scope.Multi ]
+            ()
+        in
+        transferred := report.Copy_op.state_bytes);
+      (* Move the per-flow state for client2's in-progress connections
+         and reroute (the paper updates routing for in-progress and
+         future requests from client 2). *)
+      ignore
+        (Move.run fab.ctrl
+           (Move.spec ~src:nf1 ~dst:nf2 ~filter:(Filter.of_src_host client2)
+              ~guarantee:Move.Loss_free ~parallel:true ())));
+  Fabric.run fab;
+  (squid1, squid2, !transferred)
+
+let run () =
+  H.section "Table 1: handling of Squid multi-flow state on scale-out";
+  let rows =
+    List.map
+      (fun approach ->
+        let squid1, squid2, transferred = run_approach approach in
+        [
+          label approach;
+          string_of_int (Opennf_nfs.Proxy.hits squid1);
+          (if Opennf_nfs.Proxy.crashed squid2 then "crashed"
+           else string_of_int (Opennf_nfs.Proxy.hits squid2));
+          H.mb transferred;
+        ])
+      [ Ignore; Copy_client; Copy_all ]
+  in
+  H.table
+    ~header:
+      [ "approach"; "hits on squid1"; "hits on squid2"; "state moved (MB)" ]
+    rows;
+  H.note
+    "Expected shape (paper: 117 / crashed|39|50 / 0|3.8|54.4 MB): ignore \
+     crashes the new instance; copy-client avoids the crash with a much \
+     smaller transfer but a lower hit ratio than copy-all."
+
+let () = H.register ~id:"table1" ~descr:"Squid multi-flow handling on scale-out" run

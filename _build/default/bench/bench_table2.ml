@@ -1,0 +1,88 @@
+(* Table 2: NF code added to support the southbound API. The paper
+   counts lines added to each real NF (at most +9.8%, mostly
+   serialization). The analogue here: for each NF module in lib/nfs/,
+   the serialization and southbound-implementation sections versus the
+   whole module, measured from this repository's sources. *)
+
+module H = Harness
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+(* NF modules mark their OpenNF-specific parts with banner comments. *)
+let count path =
+  let lines = read_lines path in
+  let total = List.length lines in
+  let opennf = ref 0 in
+  let in_section = ref false in
+  List.iter
+    (fun line ->
+      let has s =
+        let rec find i =
+          i + String.length s <= String.length line
+          && (String.sub line i (String.length s) = s || find (i + 1))
+        in
+        String.length s <= String.length line && find 0
+      in
+      if has "--- serialization" || has "--- southbound" then in_section := true
+      else if has "--- inspection" || has "--- packet processing" then
+        in_section := false;
+      if !in_section then incr opennf)
+    lines;
+  (total, !opennf)
+
+let candidates =
+  [
+    ("Bro IDS", "lib/nfs/ids.ml");
+    ("PRADS asset monitor", "lib/nfs/prads.ml");
+    ("Squid caching proxy", "lib/nfs/proxy.ml");
+    ("iptables", "lib/nfs/nat.ml");
+  ]
+
+let rec find_root dir depth =
+  if depth > 6 then None
+  else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else find_root (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+
+let run () =
+  H.section "Table 2: NF code devoted to the southbound API";
+  match find_root (Sys.getcwd ()) 0 with
+  | None -> H.note "repository sources not found from %s; skipping" (Sys.getcwd ())
+  | Some root ->
+    let rows =
+      List.filter_map
+        (fun (name, rel) ->
+          let path = Filename.concat root rel in
+          if Sys.file_exists path then begin
+            let total, opennf = count path in
+            Some
+              [
+                name;
+                string_of_int opennf;
+                string_of_int total;
+                Printf.sprintf "%.1f%%"
+                  (100.0 *. float_of_int opennf /. float_of_int total);
+              ]
+          end
+          else None)
+        candidates
+    in
+    H.table
+      ~header:[ "NF"; "OpenNF-specific LOC"; "total LOC"; "share" ]
+      rows;
+    H.note
+      "Expected shape: serialization dominates the OpenNF-specific code, \
+       as in the paper. The share is higher than the paper's <=9.8%% \
+       because these NFs are compact simulations (hundreds of lines), \
+       while the real Bro/Squid are 100k-line codebases receiving the \
+       same few-hundred-line addition."
+
+let () = H.register ~id:"table2" ~descr:"NF code additions for the southbound API" run

@@ -1,0 +1,108 @@
+(* Shared experiment scaffolding: table rendering, testbed builders and
+   measurement helpers used by every bench_* module. *)
+
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Costs = Opennf_sb.Costs
+module Runtime = Opennf_sb.Runtime
+open Opennf_net
+open Opennf
+
+(* --- output ------------------------------------------------------------ *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell -> Printf.printf "%-*s  " (List.nth widths c) cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let ms v = Printf.sprintf "%.1f" (1000.0 *. v)
+let mb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1_048_576.0)
+let kb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0)
+
+(* --- testbeds ----------------------------------------------------------- *)
+
+type prads_bed = {
+  fab : Fabric.t;
+  nf1 : Controller.nf;
+  nf2 : Controller.nf;
+  rt1 : Runtime.t;
+  rt2 : Runtime.t;
+  keys : Flow.key list;
+  move_at : float;
+      (** Earliest time every flow's state exists at nf1 (the paper
+          moves "once state for 500 flows has been created"). *)
+}
+
+(* The §8.1.1 testbed: two PRADS monitors, [flows] flows at [rate]
+   packets/second initially routed to the first instance. *)
+let prads_bed ?(seed = 101) ?(flows = 500) ?(rate = 2500.0) ?duration
+    ?packet_out_rate () =
+  let fab = Fabric.create ~seed ?packet_out_rate () in
+  let prads1 = Opennf_nfs.Prads.create () in
+  let prads2 = Opennf_nfs.Prads.create () in
+  let nf1, rt1 =
+    Fabric.add_nf fab ~name:"prads1" ~impl:(Opennf_nfs.Prads.impl prads1)
+      ~costs:Costs.prads
+  in
+  let nf2, rt2 =
+    Fabric.add_nf fab ~name:"prads2" ~impl:(Opennf_nfs.Prads.impl prads2)
+      ~costs:Costs.prads
+  in
+  let gen = Opennf_trace.Gen.create ~seed:(seed * 3) () in
+  let handshakes = 2.0 *. float_of_int flows /. rate in
+  let move_at = 0.05 +. handshakes +. 0.5 in
+  let duration =
+    match duration with Some d -> d | None -> handshakes +. 2.5
+  in
+  let schedule, keys =
+    Opennf_trace.Gen.steady_flows gen ~flows ~rate ~start:0.05 ~duration ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Proc.spawn fab.engine (fun () -> Controller.set_route fab.ctrl Filter.any nf1);
+  { fab; nf1; nf2; rt1; rt2; keys; move_at }
+
+(* Run [body] at virtual time [at], then the whole simulation. *)
+let run_at fab ~at body =
+  Engine.schedule_at fab.Fabric.engine at (fun () ->
+      Proc.spawn fab.Fabric.engine body);
+  Fabric.run fab
+
+(* Added latency (s) of the packets a move affected: those carried in
+   events or buffered at the destination. *)
+let affected_latency audit =
+  let ids =
+    List.sort_uniq Int.compare (Audit.evented_ids audit @ Audit.buffered_ids audit)
+  in
+  let stats = Opennf_util.Stats.Summary.create () in
+  List.iter
+    (fun pkt ->
+      match Audit.added_latency audit ~pkt with
+      | Some l -> Opennf_util.Stats.Summary.add stats l
+      | None -> ())
+    ids;
+  stats
+
+(* --- registry ------------------------------------------------------------ *)
+
+type experiment = { id : string; descr : string; run : unit -> unit }
+
+let experiments : experiment list ref = ref []
+let register ~id ~descr run = experiments := { id; descr; run } :: !experiments
+let all () = List.rev !experiments

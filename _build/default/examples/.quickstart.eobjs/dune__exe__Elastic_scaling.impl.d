@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Fabric Format Fun Ipaddr List Move Opennf Opennf_apps Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Printf String

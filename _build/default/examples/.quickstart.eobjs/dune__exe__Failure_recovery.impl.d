@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Controller Fabric Filter Format Fun Ipaddr List Opennf Opennf_apps Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Printf String

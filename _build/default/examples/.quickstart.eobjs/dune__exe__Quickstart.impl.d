@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Controller Fabric Filter Format List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace

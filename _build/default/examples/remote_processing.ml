@@ -1,0 +1,81 @@
+(* Selectively invoking advanced remote processing (§2.1, §6).
+
+   Two local IDS instances identify browsers but do not run the
+   expensive malware analysis; a cloud instance does. When a local
+   instance flags an HTTP request from an outdated browser, the app
+   loss-free-moves that flow to the cloud IDS, whose digest then covers
+   the entire reply — including the bytes that arrived before the move —
+   so the malware in it is caught. Everyone else's traffic stays local.
+
+   Run with: dune exec examples/remote_processing.exe *)
+
+module Proc = Opennf_sim.Proc
+module Costs = Opennf_sb.Costs
+open Opennf_net
+open Opennf
+
+let () =
+  let body, digest = Opennf_trace.Gen.malware_body 60_000 in
+  let fab = Fabric.create ~seed:17 () in
+  (* Local instances skip malware checking (limited resources); the
+     cloud instance checks against the signature corpus. *)
+  let local_ids = Opennf_nfs.Ids.create ~check_malware:false () in
+  let cloud_ids = Opennf_nfs.Ids.create ~malware:[ digest ] () in
+  let local, _ =
+    Fabric.add_nf fab ~name:"bro-local" ~impl:(Opennf_nfs.Ids.impl local_ids)
+      ~costs:Costs.bro
+  in
+  let cloud, _ =
+    Fabric.add_nf fab ~name:"bro-cloud" ~impl:(Opennf_nfs.Ids.impl cloud_ids)
+      ~costs:Costs.bro
+  in
+
+  (* One suspicious client on an outdated browser fetches the infected
+     object; modern-browser clients fetch clean pages. The reply is slow
+     (2ms between packets) so the move happens mid-download. *)
+  let gen = Opennf_trace.Gen.create ~seed:9 () in
+  let suspicious =
+    Opennf_trace.Gen.http_session gen ~client:(Ipaddr.v 10 0 2 7)
+      ~server:(Ipaddr.v 203 0 113 80) ~sport:34000 ~start:0.2
+      ~url:"/free-screensaver.exe" ~agent:"IE6" ~body ~gap:0.002 ()
+  in
+  let clean =
+    List.concat_map
+      (fun i ->
+        Opennf_trace.Gen.http_session gen
+          ~client:(Ipaddr.v 10 0 2 (20 + i))
+          ~server:(Ipaddr.v 93 184 216 34) ~sport:(35000 + i)
+          ~start:(0.1 +. (0.05 *. float_of_int i))
+          ~url:(Printf.sprintf "/news-%d" i)
+          ~body:(String.make 8000 'n') ())
+      (List.init 8 Fun.id)
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p)
+    (Opennf_trace.Gen.merge [ suspicious; clean ]);
+
+  Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any local);
+  let app =
+    Opennf_apps.Remote_proc.start fab.ctrl
+      ~local:[ (local, local_ids) ]
+      ~cloud ()
+  in
+  Fabric.run fab;
+
+  let malware_alerts ids =
+    List.filter
+      (function Opennf_nfs.Ids.Malware _ -> true | _ -> false)
+      (Opennf_nfs.Ids.alert_log ids)
+  in
+  Format.printf "flows offloaded to the cloud: %d@."
+    (Opennf_apps.Remote_proc.offload_count app);
+  List.iter
+    (fun k -> Format.printf "  offloaded %a@." Flow.pp k)
+    (Opennf_apps.Remote_proc.offloaded app);
+  Format.printf "malware alerts at cloud: %d@."
+    (List.length (malware_alerts cloud_ids));
+  Format.printf "clean flows that stayed local: %d@."
+    (Opennf_nfs.Ids.conn_count local_ids);
+  assert (Opennf_apps.Remote_proc.offload_count app = 1);
+  assert (malware_alerts cloud_ids <> []);
+  assert (Opennf_nfs.Ids.conn_count local_ids >= 8)

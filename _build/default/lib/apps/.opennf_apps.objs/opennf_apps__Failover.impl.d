@@ -1,0 +1,1 @@
+lib/apps/failover.ml: Controller Copy_op Filter Flow Ipaddr List Notify Opennf Opennf_net Opennf_sim Opennf_state Packet

@@ -1,0 +1,1 @@
+lib/apps/failover.mli: Controller Filter Ipaddr Opennf Opennf_net

@@ -1,0 +1,1 @@
+lib/apps/lb_monitor.ml: Controller Copy_op Filter Ipaddr List Move Opennf Opennf_net Opennf_sim Opennf_state

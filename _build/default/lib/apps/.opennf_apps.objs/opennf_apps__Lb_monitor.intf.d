@@ -1,0 +1,1 @@
+lib/apps/lb_monitor.mli: Controller Ipaddr Move Opennf Opennf_net

@@ -1,0 +1,1 @@
+lib/apps/remote_proc.ml: Controller Filter Flow List Move Opennf Opennf_net Opennf_nfs Opennf_sim Opennf_state

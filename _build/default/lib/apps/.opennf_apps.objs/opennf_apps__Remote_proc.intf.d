@@ -1,0 +1,1 @@
+lib/apps/remote_proc.mli: Controller Flow Opennf Opennf_net Opennf_nfs

@@ -1,0 +1,86 @@
+module Proc = Opennf_sim.Proc
+module Scope = Opennf_state.Scope
+open Opennf_net
+open Opennf
+
+type t = {
+  ctrl : Controller.t;
+  normal : Controller.nf;
+  standby : Controller.nf;
+  mutable handles : Notify.handle list;
+  mutable refreshes : int;
+  mutable bytes : int;
+  mutable refreshing : Flow.Set.t;  (* Coalesce concurrent refreshes. *)
+}
+
+(* Copy the per-flow state for the event packet's flow to the standby
+   (Figure 9, updateStandby); SYN/RST packets also update multi-flow
+   counters, so refresh the source host's multi-flow state alongside —
+   that is what keeps "all per-flow and multi-flow state" eventually
+   consistent (§2.1). *)
+let update_standby t (p : Packet.t) =
+  let key = Flow.canonical p.Packet.key in
+  if not (Flow.Set.mem key t.refreshing) then begin
+    t.refreshing <- Flow.Set.add key t.refreshing;
+    let host_filter = Filter.of_src_host p.Packet.key.Flow.src_ip in
+    let touches_counters = Packet.has_flag p Syn || Packet.has_flag p Rst in
+    Proc.spawn (Controller.engine t.ctrl) (fun () ->
+        let r1 =
+          Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
+            ~filter:(Filter.of_key key) ~scope:[ Scope.Per ] ()
+        in
+        t.bytes <- t.bytes + r1.Copy_op.state_bytes;
+        if touches_counters then begin
+          let r2 =
+            Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
+              ~filter:host_filter ~scope:[ Scope.Multi ] ()
+          in
+          t.bytes <- t.bytes + r2.Copy_op.state_bytes
+        end;
+        t.refreshes <- t.refreshes + 1;
+        t.refreshing <- Flow.Set.remove key t.refreshing)
+  end
+
+let init_standby ctrl ~normal ~standby
+    ?(local_net = Ipaddr.Prefix.of_string "10.0.0.0/8") () =
+  let t =
+    {
+      ctrl;
+      normal;
+      standby;
+      handles = [];
+      refreshes = 0;
+      bytes = 0;
+      refreshing = Flow.Set.empty;
+    }
+  in
+  let triggers =
+    [
+      (* notify({nw_proto: TCP, tcp_flags: SYN}) *)
+      Filter.make ~proto:Flow.Tcp ~tcp_flag:Packet.Syn ();
+      (* notify({nw_proto: TCP, tcp_flags: RST}) *)
+      Filter.make ~proto:Flow.Tcp ~tcp_flag:Packet.Rst ();
+      (* notify({nw_src: 10.0.0.0/8, nw_proto: TCP, tp_dst: 80}) *)
+      Filter.make ~src:local_net ~proto:Flow.Tcp ~dst_port:80 ();
+    ]
+  in
+  t.handles <-
+    List.map (fun filter -> Notify.enable ctrl normal filter (update_standby t))
+      triggers;
+  (* Seed the standby's multi-flow state once; SYN/RST notifications keep
+     the relevant parts fresh afterwards. *)
+  Proc.spawn (Controller.engine ctrl) (fun () ->
+      let r =
+        Copy_op.run ctrl ~src:normal ~dst:standby ~filter:Filter.any
+          ~scope:[ Scope.Multi; Scope.All ] ()
+      in
+      t.bytes <- t.bytes + r.Copy_op.state_bytes);
+  t
+
+let fail_over t ~filter = Controller.set_route t.ctrl filter t.standby
+let refreshes t = t.refreshes
+let bytes_transferred t = t.bytes
+
+let stop t =
+  List.iter (Notify.disable t.ctrl) t.handles;
+  t.handles <- []

@@ -1,0 +1,37 @@
+(** Fast failure recovery (Figure 9 of the paper).
+
+    Maintains a hot standby with an eventually consistent copy of
+    another instance's state. Rather than re-copying everything
+    periodically, the standby is refreshed when packets that matter for
+    the NF's analyses are processed: TCP SYN, TCP RST, and HTTP requests
+    from local clients — exactly Figure 9's three [notify] calls. On
+    failure, traffic is rerouted to the standby, which already holds the
+    critical state. *)
+
+open Opennf_net
+open Opennf
+
+type t
+
+val init_standby :
+  Controller.t ->
+  normal:Controller.nf ->
+  standby:Controller.nf ->
+  ?local_net:Ipaddr.Prefix.t ->
+  unit ->
+  t
+(** Registers the notifications. [local_net] (default 10.0.0.0/8) scopes
+    the HTTP-request trigger, as in Figure 9 line 6. Multi-flow state is
+    copied up front so scan counters exist at the standby. *)
+
+val fail_over : t -> filter:Filter.t -> unit
+(** Blocking: reroute matching traffic to the standby (the "normal"
+    instance is presumed dead — nothing is fetched from it). *)
+
+val refreshes : t -> int
+(** Number of per-flow state refreshes pushed to the standby. *)
+
+val bytes_transferred : t -> int
+(** Serialized state bytes shipped to the standby so far. *)
+
+val stop : t -> unit

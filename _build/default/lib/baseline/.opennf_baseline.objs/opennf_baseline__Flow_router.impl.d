@@ -1,0 +1,1 @@
+lib/baseline/flow_router.ml: Controller Filter Flow Flowtable List Opennf Opennf_net Opennf_sim Option Packet

@@ -1,0 +1,1 @@
+lib/baseline/flow_router.mli: Controller Filter Flow Opennf Opennf_net Packet

@@ -1,0 +1,1 @@
+lib/baseline/splitmerge.ml: Controller Filter Flowtable List Opennf Opennf_net Opennf_sim Queue

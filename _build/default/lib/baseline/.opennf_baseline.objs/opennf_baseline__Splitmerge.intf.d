@@ -1,0 +1,1 @@
+lib/baseline/splitmerge.mli: Controller Filter Opennf Opennf_net

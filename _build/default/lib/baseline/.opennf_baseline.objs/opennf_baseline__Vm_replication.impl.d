@@ -1,0 +1,1 @@
+lib/baseline/vm_replication.ml: Filter List Opennf_net Opennf_sb Opennf_state

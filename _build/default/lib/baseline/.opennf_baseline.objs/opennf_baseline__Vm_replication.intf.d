@@ -1,0 +1,1 @@
+lib/baseline/vm_replication.mli: Filter Opennf_net Opennf_sb

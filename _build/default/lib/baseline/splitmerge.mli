@@ -1,0 +1,30 @@
+(** Split/Merge-style migrate (Rajagopalan et al., NSDI'13 — [34] in the
+    paper).
+
+    The orchestrator halts matching traffic by diverting it to the
+    controller, transfers per-flow state {e without} an event
+    abstraction, then races the buffered-packet flush against the
+    forwarding update (Figure 5 of the paper). Consequences this
+    implementation reproduces:
+
+    - packets in transit to (or queued at) the source when migrate
+      starts are dropped at the source, losing their state updates;
+    - a packet can reach the controller after the flush but before the
+      new rule is active, and is then forwarded to the destination after
+      later packets already went direct — reordering. *)
+
+open Opennf_net
+open Opennf
+
+type report = {
+  started : float;
+  finished : float;
+  chunks : int;
+  buffered : int;  (** Packets halted at the controller. *)
+  late : int;  (** Packets relayed after the flush (the Figure 5 race). *)
+}
+
+val migrate :
+  Controller.t -> src:Controller.nf -> dst:Controller.nf -> filter:Filter.t ->
+  report
+(** Blocking; call from a simulation process. *)

@@ -1,0 +1,34 @@
+module Nf_api = Opennf_sb.Nf_api
+module Chunk = Opennf_state.Chunk
+open Opennf_net
+
+type report = { total_bytes : int; needed_bytes : int; chunks : int }
+
+let clone ~(src : Nf_api.impl) ~(dst : Nf_api.impl) ~needed =
+  let total = ref 0 and needed_b = ref 0 and chunks = ref 0 in
+  let account flowid chunk =
+    incr chunks;
+    total := !total + Chunk.size chunk;
+    if Filter.accepts_flowid needed flowid then
+      needed_b := !needed_b + Chunk.size chunk
+  in
+  List.iter
+    (fun flowid ->
+      match src.Nf_api.export_perflow flowid with
+      | None -> ()
+      | Some chunk ->
+        account flowid chunk;
+        dst.Nf_api.import_perflow flowid chunk)
+    (src.Nf_api.list_perflow Filter.any);
+  List.iter
+    (fun flowid ->
+      match src.Nf_api.export_multiflow flowid with
+      | None -> ()
+      | Some chunk ->
+        account flowid chunk;
+        dst.Nf_api.import_multiflow flowid chunk)
+    (src.Nf_api.list_multiflow Filter.any);
+  let all = src.Nf_api.export_allflows () in
+  List.iter (fun chunk -> account Filter.any chunk) all;
+  dst.Nf_api.import_allflows all;
+  { total_bytes = !total; needed_bytes = !needed_b; chunks = !chunks }

@@ -1,0 +1,26 @@
+(** VM/process replication baseline (§2.2, §8.4).
+
+    Clones an NF instance in its entirety: every piece of per-flow,
+    multi-flow and all-flows state is copied to the clone, relevant or
+    not. The unneeded state wastes memory and — worse — produces
+    incorrect NF behaviour: flows that never reach the clone terminate
+    abruptly in its bookkeeping (and vice-versa at the original once
+    traffic is split). *)
+
+open Opennf_net
+
+type report = {
+  total_bytes : int;  (** Serialized size of everything cloned. *)
+  needed_bytes : int;  (** Portion matching [needed] (what OpenNF would move). *)
+  chunks : int;
+}
+
+val clone :
+  src:Opennf_sb.Nf_api.impl ->
+  dst:Opennf_sb.Nf_api.impl ->
+  needed:Filter.t ->
+  report
+(** Copies all state from [src] into [dst] directly (a VM snapshot does
+    not go through any API). [needed] is only used for accounting: how
+    many of the copied bytes a state-aware move would actually have
+    transferred. *)

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Audit Channel Chunk Filter Flowtable Hashtbl List Opennf_net Opennf_sb Opennf_sim Opennf_state Option Packet String Switch

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Audit Chunk Filter Flowtable Opennf_net Opennf_sb Opennf_sim Opennf_state Packet Switch

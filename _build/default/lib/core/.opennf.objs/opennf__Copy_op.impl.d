@@ -1,0 +1,1 @@
+lib/core/copy_op.ml: Chunk Controller Filter Format List Opennf_net Opennf_sim Opennf_state Scope

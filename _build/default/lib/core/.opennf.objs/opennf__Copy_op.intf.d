@@ -1,0 +1,1 @@
+lib/core/copy_op.mli: Controller Filter Format Opennf_net Opennf_sim Opennf_state Scope

@@ -1,0 +1,1 @@
+lib/core/fabric.ml: Audit Channel Controller Opennf_net Opennf_sb Opennf_sim Switch

@@ -1,0 +1,1 @@
+lib/core/fabric.mli: Audit Controller Opennf_net Opennf_sb Opennf_sim Packet Switch

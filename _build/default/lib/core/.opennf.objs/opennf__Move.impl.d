@@ -1,0 +1,1 @@
+lib/core/move.ml: Chunk Controller Filter Flow Flowtable Format Hashtbl List Opennf_net Opennf_sb Opennf_sim Opennf_state Option Packet Queue Scope

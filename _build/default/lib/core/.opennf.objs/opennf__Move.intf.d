@@ -1,0 +1,1 @@
+lib/core/move.mli: Controller Filter Format Opennf_net Opennf_sim Opennf_state Scope

@@ -1,0 +1,1 @@
+lib/core/notify.ml: Controller Filter Opennf_net Opennf_sb

@@ -1,0 +1,1 @@
+lib/core/notify.mli: Controller Filter Opennf_net Packet

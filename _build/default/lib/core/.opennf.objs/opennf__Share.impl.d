@@ -1,0 +1,1 @@
+lib/core/share.ml: Controller Filter Flow Flowtable Hashtbl List Opennf_net Opennf_sb Opennf_sim Opennf_state Option Packet Queue Scope

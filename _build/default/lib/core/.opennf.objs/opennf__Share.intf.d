@@ -1,0 +1,1 @@
+lib/core/share.mli: Controller Filter Opennf_net Opennf_sim Opennf_state Packet Scope

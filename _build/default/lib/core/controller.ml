@@ -1,0 +1,331 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Protocol = Opennf_sb.Protocol
+module Runtime = Opennf_sb.Runtime
+open Opennf_net
+open Opennf_state
+
+type config = {
+  nf_latency : float;
+  sw_latency : float;
+  sw_bandwidth : float option;
+  msg_cost : float;
+  msg_cost_per_byte : float;
+}
+
+let default_config =
+  {
+    nf_latency = 0.002;
+    sw_latency = 0.002;
+    (* An OpenFlow control connection moves roughly 600 kB/s of
+       packet-outs on the paper's testbed (~3000 packet-outs/s), so the
+       final flow-mod of a move queues behind the event flush. *)
+    sw_bandwidth = Some 600_000.0;
+    msg_cost = 25e-6;
+    msg_cost_per_byte = 0.35e-6;
+  }
+
+type nf = {
+  nf_name : string;
+  to_nf : Protocol.request Channel.t;
+  runtime : Runtime.t;
+}
+
+type pending =
+  | Get of {
+      mutable chunks : (Filter.t * Chunk.t) list;  (* Reverse order. *)
+      on_piece : (Filter.t -> Chunk.t -> unit) option;
+      result : (Filter.t * Chunk.t) list Proc.Ivar.t;
+    }
+  | Write of unit Proc.Ivar.t
+
+type event_sub = {
+  es_nf : string;
+  es_filter : Filter.t;
+  es_callback : Packet.t -> Protocol.event_action -> unit;
+}
+
+type pkt_in_sub = {
+  ps_filter : Filter.t;
+  ps_callback : Packet.t -> unit;
+}
+
+type subscription = int
+
+(* Inbound messages funneled through the serial controller CPU. *)
+type inbound =
+  | From_nf of Protocol.reply
+  | From_switch of Switch.from_switch
+
+type t = {
+  engine : Engine.t;
+  audit : Audit.t;
+  switch : Switch.t;
+  config : config;
+  to_switch : Switch.to_switch Channel.t;
+  inbox : (inbound * int) Proc.Mailbox.t;  (* message, wire size *)
+  mutable nfs : nf list;
+  pending : (int, pending) Hashtbl.t;
+  barriers : (int, unit Proc.Ivar.t) Hashtbl.t;
+  mutable event_subs : (int * event_sub) list;
+  mutable pkt_in_subs : (int * pkt_in_sub) list;
+  route_cookies : (Filter.t * int) list ref;
+  mutable next_req : int;
+  mutable next_cookie : int;
+  mutable next_sub : int;
+  mutable handled : int;
+}
+
+let base_priority = 100
+let move_final_priority = 150
+let phase1_priority = 200
+let phase2_priority = 300
+
+let engine t = t.engine
+let audit t = t.audit
+let messages_handled t = t.handled
+
+let dispatch t msg =
+  match msg with
+  | From_nf (Protocol.Piece { req; flowid; chunk }) -> (
+    match Hashtbl.find_opt t.pending req with
+    | Some (Get g) ->
+      g.chunks <- (flowid, chunk) :: g.chunks;
+      Option.iter (fun f -> f flowid chunk) g.on_piece
+    | Some (Write _) | None -> ())
+  | From_nf (Protocol.Done { req; chunks }) -> (
+    match Hashtbl.find_opt t.pending req with
+    | Some (Get g) ->
+      Hashtbl.remove t.pending req;
+      Proc.Ivar.fill g.result (List.rev g.chunks @ chunks)
+    | Some (Write _) | None -> ())
+  | From_nf (Protocol.Ack { req }) -> (
+    match Hashtbl.find_opt t.pending req with
+    | Some (Write ivar) ->
+      Hashtbl.remove t.pending req;
+      Proc.Ivar.fill ivar ()
+    | Some (Get _) | None -> ())
+  | From_nf (Protocol.Event { nf; packet; disposition }) ->
+    List.iter
+      (fun (_, sub) ->
+        if
+          String.equal sub.es_nf nf
+          && Filter.matches_flow sub.es_filter packet.Packet.key
+        then sub.es_callback packet disposition)
+      (List.rev t.event_subs)
+  | From_switch (Switch.Packet_in { packet; cookie = _ }) ->
+    List.iter
+      (fun (_, sub) ->
+        if Filter.matches_flow sub.ps_filter packet.Packet.key then
+          sub.ps_callback packet)
+      (List.rev t.pkt_in_subs)
+  | From_switch (Switch.Barrier_reply { id }) -> (
+    match Hashtbl.find_opt t.barriers id with
+    | Some ivar ->
+      Hashtbl.remove t.barriers id;
+      Proc.Ivar.fill ivar ()
+    | None -> ())
+
+let cpu_loop t () =
+  let rec loop () =
+    let msg, size = Proc.Mailbox.recv t.inbox in
+    Proc.sleep
+      (t.config.msg_cost +. (t.config.msg_cost_per_byte *. float_of_int size));
+    t.handled <- t.handled + 1;
+    dispatch t msg;
+    loop ()
+  in
+  loop ()
+
+let create engine audit ~switch ?(config = default_config) () =
+  let to_switch =
+    Channel.create engine ~latency:config.sw_latency
+      ?bandwidth:config.sw_bandwidth ~name:"ctrl->sw" ()
+  in
+  Channel.set_handler to_switch (Switch.control switch);
+  let t =
+    {
+      engine;
+      audit;
+      switch;
+      config;
+      to_switch;
+      inbox = Proc.Mailbox.create engine;
+      nfs = [];
+      pending = Hashtbl.create 64;
+      barriers = Hashtbl.create 16;
+      event_subs = [];
+      pkt_in_subs = [];
+      route_cookies = ref [];
+      next_req = 0;
+      next_cookie = 1;
+      next_sub = 0;
+      handled = 0;
+    }
+  in
+  let from_switch =
+    Channel.create engine ~latency:config.sw_latency ~name:"sw->ctrl" ()
+  in
+  Channel.set_handler_with_size from_switch (fun msg size ->
+      Proc.Mailbox.send t.inbox (From_switch msg, size));
+  Switch.set_controller switch from_switch;
+  Proc.spawn engine (cpu_loop t);
+  t
+
+let attach t runtime =
+  let name = Runtime.name runtime in
+  let to_nf =
+    Channel.create t.engine ~latency:t.config.nf_latency
+      ~name:("ctrl->" ^ name) ()
+  in
+  Channel.set_handler to_nf (Runtime.control runtime);
+  let from_nf =
+    Channel.create t.engine ~latency:t.config.nf_latency
+      ~name:(name ^ "->ctrl") ()
+  in
+  Channel.set_handler_with_size from_nf (fun reply size ->
+      Proc.Mailbox.send t.inbox (From_nf reply, size));
+  Runtime.set_controller runtime from_nf;
+  let nf = { nf_name = name; to_nf; runtime } in
+  t.nfs <- nf :: t.nfs;
+  nf
+
+let nf_name nf = nf.nf_name
+let find_nf t name = List.find_opt (fun nf -> nf.nf_name = name) t.nfs
+
+let send_request nf req =
+  Channel.send nf.to_nf ~size:(Protocol.request_size req) req
+
+let fresh_req t =
+  let r = t.next_req in
+  t.next_req <- t.next_req + 1;
+  r
+
+(* --- southbound wrappers ------------------------------------------------ *)
+
+let enable_events _t nf filter action =
+  send_request nf (Protocol.Enable_events { filter; action })
+
+let disable_events _t nf filter =
+  send_request nf (Protocol.Disable_events { filter })
+
+let run_get t nf ?on_piece request =
+  let req, request = request (fresh_req t) in
+  let result = Proc.Ivar.create t.engine in
+  Hashtbl.replace t.pending req (Get { chunks = []; on_piece; result });
+  send_request nf request;
+  Proc.Ivar.read result
+
+let get_perflow t nf filter ?on_piece ?(late_lock = false) ?(compress = false)
+    () =
+  run_get t nf ?on_piece (fun req ->
+      ( req,
+        Protocol.Get_perflow
+          { req; filter; stream = Option.is_some on_piece; late_lock; compress }
+      ))
+
+let get_multiflow t nf filter ?on_piece ?(compress = false) () =
+  run_get t nf ?on_piece (fun req ->
+      ( req,
+        Protocol.Get_multiflow
+          { req; filter; stream = Option.is_some on_piece; compress } ))
+
+let get_allflows t nf =
+  List.map snd
+    (run_get t nf (fun req -> (req, Protocol.Get_allflows { req })))
+
+let run_write_async t nf request =
+  let req = fresh_req t in
+  let ivar = Proc.Ivar.create t.engine in
+  Hashtbl.replace t.pending req (Write ivar);
+  send_request nf (request req);
+  ivar
+
+let put_perflow_async t nf chunks =
+  run_write_async t nf (fun req -> Protocol.Put_perflow { req; chunks })
+
+let put_perflow t nf chunks = Proc.Ivar.read (put_perflow_async t nf chunks)
+
+let put_multiflow_async t nf chunks =
+  run_write_async t nf (fun req -> Protocol.Put_multiflow { req; chunks })
+
+let put_multiflow t nf chunks = Proc.Ivar.read (put_multiflow_async t nf chunks)
+
+let del_perflow_async t nf flowids =
+  run_write_async t nf (fun req -> Protocol.Del_perflow { req; flowids })
+
+let del_perflow t nf flowids = Proc.Ivar.read (del_perflow_async t nf flowids)
+
+let del_multiflow t nf flowids =
+  Proc.Ivar.read
+    (run_write_async t nf (fun req -> Protocol.Del_multiflow { req; flowids }))
+
+let put_allflows t nf chunks =
+  Proc.Ivar.read
+    (run_write_async t nf (fun req -> Protocol.Put_allflows { req; chunks }))
+
+(* --- subscriptions ------------------------------------------------------- *)
+
+let fresh_sub t =
+  let s = t.next_sub in
+  t.next_sub <- t.next_sub + 1;
+  s
+
+let subscribe_events t ~nf filter callback =
+  let id = fresh_sub t in
+  t.event_subs <-
+    (id, { es_nf = nf; es_filter = filter; es_callback = callback })
+    :: t.event_subs;
+  id
+
+let subscribe_packet_in t filter callback =
+  let id = fresh_sub t in
+  t.pkt_in_subs <-
+    (id, { ps_filter = filter; ps_callback = callback }) :: t.pkt_in_subs;
+  id
+
+let unsubscribe t id =
+  t.event_subs <- List.filter (fun (i, _) -> i <> id) t.event_subs;
+  t.pkt_in_subs <- List.filter (fun (i, _) -> i <> id) t.pkt_in_subs
+
+(* --- forwarding state ----------------------------------------------------- *)
+
+let fresh_cookie t =
+  let c = t.next_cookie in
+  t.next_cookie <- t.next_cookie + 1;
+  c
+
+let install_rule t ~cookie ~priority ~filters ~actions =
+  Channel.send t.to_switch ~size:128
+    (Switch.Install { cookie; priority; filters; actions })
+
+let remove_rule t ~cookie =
+  Channel.send t.to_switch ~size:128 (Switch.Remove { cookie })
+
+let barrier t =
+  let id = fresh_req t in
+  let ivar = Proc.Ivar.create t.engine in
+  Hashtbl.replace t.barriers id ivar;
+  Channel.send t.to_switch ~size:128 (Switch.Barrier { id });
+  Proc.Ivar.read ivar
+
+let packet_out t ~port packet =
+  Channel.send t.to_switch ~size:(128 + packet.Packet.wire_size)
+    (Switch.Packet_out { port; packet })
+
+let rule_filters filter =
+  if Filter.is_symmetric filter then [ filter ]
+  else [ filter; Filter.mirror filter ]
+
+let set_route t filter nf =
+  let cookie =
+    match List.assoc_opt filter !(t.route_cookies) with
+    | Some c -> c
+    | None ->
+      let c = fresh_cookie t in
+      t.route_cookies := (filter, c) :: !(t.route_cookies);
+      c
+  in
+  install_rule t ~cookie ~priority:base_priority ~filters:(rule_filters filter)
+    ~actions:[ Flowtable.Forward nf.nf_name ];
+  barrier t

@@ -1,0 +1,125 @@
+(** The OpenNF controller: plumbing layer.
+
+    Owns the channels to the SDN switch and to every attached NF,
+    provides blocking wrappers for the southbound API (callable from
+    simulation processes), event and packet-in subscriptions, and
+    OpenFlow-style rule management with barriers. The northbound
+    operations of §5 are built on top in {!Northbound}.
+
+    All inbound messages (NF replies, events, packet-ins, barrier
+    replies) pass through a serial controller CPU whose per-message cost
+    scales with message size — the bottleneck the paper identifies in
+    §8.3 ("threads are busy reading from sockets"). *)
+
+open Opennf_net
+open Opennf_state
+module Proc = Opennf_sim.Proc
+
+type config = {
+  nf_latency : float;  (** Controller ↔ NF channel latency (s). *)
+  sw_latency : float;  (** Controller ↔ switch channel latency (s). *)
+  sw_bandwidth : float option;
+      (** Bytes/s of the OpenFlow control connection; bounds the
+          packet-out rate and makes flow-mods queue behind packet
+          flushes (the paper's switch sustains ~3000 packet-outs/s). *)
+  msg_cost : float;  (** Controller CPU per inbound message (s). *)
+  msg_cost_per_byte : float;  (** Additional CPU per inbound byte. *)
+}
+
+val default_config : config
+
+type t
+type nf
+
+val create :
+  Opennf_sim.Engine.t -> Audit.t -> switch:Switch.t -> ?config:config ->
+  unit -> t
+
+val engine : t -> Opennf_sim.Engine.t
+val audit : t -> Audit.t
+
+val attach : t -> Opennf_sb.Runtime.t -> nf
+(** Wire an NF into the controller. The NF must (separately) be attached
+    to a switch port bearing its runtime name. *)
+
+val nf_name : nf -> string
+val find_nf : t -> string -> nf option
+val messages_handled : t -> int
+
+(** {1 Southbound calls}
+
+    The [get_*]/[put_*]/[del_*] wrappers block the calling simulation
+    process until the NF replies, so northbound operations read like the
+    paper's pseudo-code. [enable_events]/[disable_events] are
+    fire-and-forget, as in the paper. *)
+
+val enable_events : t -> nf -> Filter.t -> Opennf_sb.Protocol.event_action -> unit
+val disable_events : t -> nf -> Filter.t -> unit
+
+val get_perflow :
+  t -> nf -> Filter.t ->
+  ?on_piece:(Filter.t -> Chunk.t -> unit) ->
+  ?late_lock:bool -> ?compress:bool -> unit ->
+  (Filter.t * Chunk.t) list
+(** With [on_piece], the get streams (parallelizing optimization §5.1.3):
+    the callback fires at each arriving chunk and the returned list
+    contains all of them once the NF finishes. *)
+
+val put_perflow : t -> nf -> (Filter.t * Chunk.t) list -> unit
+
+val put_perflow_async : t -> nf -> (Filter.t * Chunk.t) list -> unit Proc.Ivar.t
+(** Non-blocking put used to pipeline puts behind a streaming get. *)
+
+val del_perflow : t -> nf -> Filter.t list -> unit
+val del_perflow_async : t -> nf -> Filter.t list -> unit Proc.Ivar.t
+
+val get_multiflow :
+  t -> nf -> Filter.t ->
+  ?on_piece:(Filter.t -> Chunk.t -> unit) -> ?compress:bool -> unit ->
+  (Filter.t * Chunk.t) list
+
+val put_multiflow : t -> nf -> (Filter.t * Chunk.t) list -> unit
+val put_multiflow_async : t -> nf -> (Filter.t * Chunk.t) list -> unit Proc.Ivar.t
+val del_multiflow : t -> nf -> Filter.t list -> unit
+val get_allflows : t -> nf -> Chunk.t list
+val put_allflows : t -> nf -> Chunk.t list -> unit
+
+(** {1 Events and packet-ins} *)
+
+type subscription
+
+val subscribe_events :
+  t -> nf:string -> Filter.t ->
+  (Packet.t -> Opennf_sb.Protocol.event_action -> unit) -> subscription
+(** Callback runs for every event from [nf] whose packet matches the
+    filter (connection-level match). *)
+
+val subscribe_packet_in : t -> Filter.t -> (Packet.t -> unit) -> subscription
+val unsubscribe : t -> subscription -> unit
+
+(** {1 Forwarding state} *)
+
+val fresh_cookie : t -> int
+
+val install_rule :
+  t -> cookie:int -> priority:int -> filters:Filter.t list ->
+  actions:Flowtable.action list -> unit
+
+val remove_rule : t -> cookie:int -> unit
+
+val barrier : t -> unit
+(** Block until the switch confirms all earlier flow-mods are active. *)
+
+val packet_out : t -> port:string -> Packet.t -> unit
+
+val set_route : t -> Filter.t -> nf -> unit
+(** Blocking: point [filter] (and its mirror) at the NF with a base-
+    priority rule, replacing any previous route set for the same filter,
+    and wait for it to take effect. *)
+
+(** Rule priority conventions used by the move protocols. *)
+
+val base_priority : int
+val move_final_priority : int
+val phase1_priority : int
+val phase2_priority : int

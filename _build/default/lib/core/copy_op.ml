@@ -1,0 +1,94 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+open Opennf_net
+open Opennf_state
+
+type report = {
+  cp_filter : Filter.t;
+  cp_src : string;
+  cp_dst : string;
+  cp_scope : Scope.t list;
+  started : float;
+  finished : float;
+  chunks : int;
+  state_bytes : int;
+}
+
+let duration r = r.finished -. r.started
+
+let pp_report ppf r =
+  Format.fprintf ppf "copy %s->%s %a: %.1fms, %d chunks, %dB" r.cp_src r.cp_dst
+    Filter.pp r.cp_filter
+    (1000.0 *. duration r)
+    r.chunks r.state_bytes
+
+let copy_stream t ~src ~dst ~filter ~parallel
+    ~(get :
+       Controller.t ->
+       Controller.nf ->
+       Filter.t ->
+       ?on_piece:(Filter.t -> Chunk.t -> unit) ->
+       unit ->
+       (Filter.t * Chunk.t) list) ~put_async ~put counters =
+  let chunks_n, bytes = counters in
+  let account chunks =
+    chunks_n := !chunks_n + List.length chunks;
+    bytes :=
+      !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+  in
+  if parallel then begin
+    let pending = ref [] in
+    let chunks =
+      get t src filter
+        ~on_piece:(fun flowid chunk ->
+          pending := put_async t dst [ (flowid, chunk) ] :: !pending)
+        ()
+    in
+    List.iter Proc.Ivar.read !pending;
+    account chunks
+  end
+  else begin
+    let chunks = get t src filter () in
+    if chunks <> [] then put t dst chunks;
+    account chunks
+  end
+
+let run t ~src ~dst ~filter ?(scope = [ Scope.Multi ]) ?(parallel = true) () =
+  let engine = Controller.engine t in
+  let started = Engine.now engine in
+  let chunks_n = ref 0 and bytes = ref 0 in
+  if Scope.mem Scope.Per scope then
+    copy_stream t ~src ~dst ~filter ~parallel
+      ~get:(fun t nf filter ?on_piece () ->
+        Controller.get_perflow t nf filter ?on_piece ())
+      ~put_async:Controller.put_perflow_async ~put:Controller.put_perflow
+      (chunks_n, bytes);
+  if Scope.mem Scope.Multi scope then
+    copy_stream t ~src ~dst ~filter ~parallel
+      ~get:(fun t nf filter ?on_piece () ->
+        Controller.get_multiflow t nf filter ?on_piece ())
+      ~put_async:Controller.put_multiflow_async ~put:Controller.put_multiflow
+      (chunks_n, bytes);
+  if Scope.mem Scope.All scope then begin
+    let chunks = Controller.get_allflows t src in
+    if chunks <> [] then Controller.put_allflows t dst chunks;
+    chunks_n := !chunks_n + List.length chunks;
+    bytes := !bytes + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
+  end;
+  {
+    cp_filter = filter;
+    cp_src = Controller.nf_name src;
+    cp_dst = Controller.nf_name dst;
+    cp_scope = scope;
+    started;
+    finished = Engine.now engine;
+    chunks = !chunks_n;
+    state_bytes = !bytes;
+  }
+
+let start t ~src ~dst ~filter ?scope ?parallel () =
+  let engine = Controller.engine t in
+  let ivar = Proc.Ivar.create engine in
+  Proc.spawn engine (fun () ->
+      Proc.Ivar.fill ivar (run t ~src ~dst ~filter ?scope ?parallel ()));
+  ivar

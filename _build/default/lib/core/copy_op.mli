@@ -1,0 +1,47 @@
+(** The northbound [copy] operation (§5.2.1).
+
+    Clones state from one instance to another without deleting it at the
+    source or touching forwarding state. Imports merge per the NF's
+    semantics, so repeatedly copying yields eventual consistency;
+    deciding {e when} to re-copy is the application's job (see
+    {!Notify}). *)
+
+open Opennf_net
+open Opennf_state
+module Proc = Opennf_sim.Proc
+
+type report = {
+  cp_filter : Filter.t;
+  cp_src : string;
+  cp_dst : string;
+  cp_scope : Scope.t list;
+  started : float;
+  finished : float;
+  chunks : int;
+  state_bytes : int;
+}
+
+val duration : report -> float
+val pp_report : Format.formatter -> report -> unit
+
+val run :
+  Controller.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?parallel:bool ->
+  unit ->
+  report
+(** Blocking. Defaults: scope [[Multi]] (the common case in §6),
+    [parallel] true. *)
+
+val start :
+  Controller.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?parallel:bool ->
+  unit ->
+  report Proc.Ivar.t

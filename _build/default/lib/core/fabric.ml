@@ -1,0 +1,43 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Runtime = Opennf_sb.Runtime
+open Opennf_net
+
+type t = {
+  engine : Engine.t;
+  audit : Audit.t;
+  switch : Switch.t;
+  ctrl : Controller.t;
+  link_latency : float;
+}
+
+let create ?(seed = 1) ?config ?flow_mod_delay ?packet_out_rate
+    ?(link_latency = 0.0002) () =
+  let engine = Engine.create ~seed () in
+  let audit = Audit.create engine in
+  let switch =
+    Switch.create engine audit ~name:"sw" ?flow_mod_delay ?packet_out_rate ()
+  in
+  let ctrl = Controller.create engine audit ~switch ?config () in
+  { engine; audit; switch; ctrl; link_latency }
+
+let add_nf t ~name ~impl ~costs =
+  let runtime = Runtime.create t.engine t.audit ~name ~impl ~costs () in
+  let port =
+    Channel.create t.engine ~latency:t.link_latency ~name:("sw->" ^ name) ()
+  in
+  Channel.set_handler port (Runtime.receive runtime);
+  Switch.attach_port t.switch ~name port;
+  let nf = Controller.attach t.ctrl runtime in
+  (nf, runtime)
+
+let inject t p = Switch.inject t.switch p
+
+let inject_at t time p =
+  Engine.schedule_at t.engine time (fun () -> Switch.inject t.switch p)
+
+let run ?until t = Engine.run ?until t.engine
+
+let run_proc t body =
+  Proc.spawn t.engine body;
+  Engine.run t.engine

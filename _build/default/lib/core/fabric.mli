@@ -1,0 +1,49 @@
+(** Testbed wiring: one switch, one controller, N NF instances.
+
+    Mirrors the paper's evaluation setup (§8): an OpenFlow switch whose
+    ports feed NF instances, an OpenNF controller connected to both, and
+    traffic injected at the switch. Every experiment, test and example
+    builds on this module. *)
+
+open Opennf_net
+module Engine = Opennf_sim.Engine
+
+type t = {
+  engine : Engine.t;
+  audit : Audit.t;
+  switch : Switch.t;
+  ctrl : Controller.t;
+  link_latency : float;
+}
+
+val create :
+  ?seed:int ->
+  ?config:Controller.config ->
+  ?flow_mod_delay:float ->
+  ?packet_out_rate:float ->
+  ?link_latency:float ->
+  unit ->
+  t
+(** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}. *)
+
+val add_nf :
+  t ->
+  name:string ->
+  impl:Opennf_sb.Nf_api.impl ->
+  costs:Opennf_sb.Costs.t ->
+  Controller.nf * Opennf_sb.Runtime.t
+(** Creates the NF runtime, connects it to a switch port named [name]
+    and to the controller. *)
+
+val inject : t -> Packet.t -> unit
+(** Deliver a packet to the switch now. *)
+
+val inject_at : t -> float -> Packet.t -> unit
+(** Deliver a packet to the switch at an absolute virtual time. *)
+
+val run : ?until:float -> t -> unit
+(** Run the simulation ([Engine.run]). *)
+
+val run_proc : t -> (unit -> unit) -> unit
+(** Spawn a simulation process (for calling blocking northbound
+    operations) and run the engine until quiescent. *)

@@ -1,0 +1,363 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Protocol = Opennf_sb.Protocol
+open Opennf_net
+open Opennf_state
+
+type guarantee = No_guarantee | Loss_free | Order_preserving
+
+let pp_guarantee ppf g =
+  Format.pp_print_string ppf
+    (match g with
+    | No_guarantee -> "none"
+    | Loss_free -> "loss-free"
+    | Order_preserving -> "loss-free+order-preserving")
+
+type spec = {
+  src : Controller.nf;
+  dst : Controller.nf;
+  filter : Filter.t;
+  scope : Scope.t list;
+  guarantee : guarantee;
+  parallel : bool;
+  early_release : bool;
+  compress : bool;
+  disable_grace : float;
+      (** How long after completion to disable the source's events
+          (§5.1.1: "after several minutes" — long enough for stragglers
+          in flight or queued at the source to drain). *)
+}
+
+let spec ~src ~dst ~filter ?(scope = [ Scope.Per ]) ?(guarantee = Loss_free)
+    ?(parallel = false) ?(early_release = false) ?(compress = false)
+    ?(disable_grace = 0.5) () =
+  if early_release && Scope.mem Scope.Per scope && Scope.mem Scope.Multi scope
+  then
+    invalid_arg
+      "Move.spec: early release cannot combine per-flow and multi-flow \
+       scopes (§5.1.3)";
+  if early_release && Scope.mem Scope.All scope then
+    invalid_arg
+      "Move.spec: early release lets the source keep processing during \
+       the transfer, so it cannot give a consistent all-flows snapshot";
+  (* Early release only makes sense when chunks stream. *)
+  let parallel = parallel || early_release in
+  {
+    src; dst; filter; scope; guarantee; parallel; early_release; compress;
+    disable_grace;
+  }
+
+type report = {
+  rp_filter : Filter.t;
+  rp_src : string;
+  rp_dst : string;
+  rp_guarantee : guarantee;
+  started : float;
+  finished : float;
+  per_chunks : int;
+  multi_chunks : int;
+  state_bytes : int;
+  relayed : int;
+}
+
+let duration r = r.finished -. r.started
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "move %s->%s %a (%a): %.1fms, %d per-flow + %d multi-flow chunks, %dB \
+     state, %d packets relayed"
+    r.rp_src r.rp_dst Filter.pp r.rp_filter pp_guarantee r.rp_guarantee
+    (1000.0 *. duration r)
+    r.per_chunks r.multi_chunks r.state_bytes r.relayed
+
+(* Relay bookkeeping for loss-free moves: packets arriving at the source
+   during the move reach the controller as events and are re-injected
+   toward the destination via packet-outs. *)
+type relay_state = {
+  ctrl : Controller.t;
+  dst_port : string;
+  mark_do_not_buffer : bool;
+  mutable buffering : bool;  (* Queue events until the put completes. *)
+  global_q : Packet.t Queue.t;
+  (* Early release: per-flow queues until that flow's chunk is put. *)
+  flow_q : Packet.t Queue.t Flow.Table.t;
+  released : unit Flow.Table.t;
+  mutable relayed : int;
+}
+
+let relay rs (p : Packet.t) =
+  if rs.mark_do_not_buffer then p.Packet.do_not_buffer <- true;
+  rs.relayed <- rs.relayed + 1;
+  Controller.packet_out rs.ctrl ~port:rs.dst_port p
+
+let on_source_event rs ~early_release (p : Packet.t) =
+  if early_release then begin
+    let k = Flow.canonical p.Packet.key in
+    if Flow.Table.mem rs.released k then relay rs p
+    else begin
+      let q =
+        match Flow.Table.find_opt rs.flow_q k with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Flow.Table.add rs.flow_q k q;
+          q
+      in
+      Queue.push p q
+    end
+  end
+  else if rs.buffering then Queue.push p rs.global_q
+  else relay rs p
+
+let release_flow rs flowid =
+  match Filter.exact_key flowid with
+  | None -> ()
+  | Some key ->
+    let k = Flow.canonical key in
+    Flow.Table.replace rs.released k ();
+    (match Flow.Table.find_opt rs.flow_q k with
+    | Some q ->
+      Queue.iter (relay rs) q;
+      Queue.clear q
+    | None -> ())
+
+let flush_all rs =
+  Queue.iter (relay rs) rs.global_q;
+  Queue.clear rs.global_q;
+  Flow.Table.iter
+    (fun k q ->
+      Flow.Table.replace rs.released k ();
+      Queue.iter (relay rs) q;
+      Queue.clear q)
+    rs.flow_q;
+  rs.buffering <- false
+
+(* Transfer all-flows state under the move's event protection. There is
+   no delAllflows (all-flows state is always relevant, §4.2), so this is
+   get + put; the destination merges. Doing it inside the move — after
+   events halt the source — is what gives NFs like the RE decoder a
+   consistent fingerprint store at the destination. *)
+let transfer_allflows t spec counters =
+  let bytes, multi = counters in
+  let chunks = Controller.get_allflows t spec.src in
+  if chunks <> [] then Controller.put_allflows t spec.dst chunks;
+  multi := !multi + List.length chunks;
+  bytes := !bytes + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
+
+(* Transfer multi-flow state: get + del + put (§5.1). *)
+let transfer_multiflow t spec counters =
+  let bytes, multi = counters in
+  let chunks =
+    Controller.get_multiflow t spec.src spec.filter ~compress:spec.compress ()
+  in
+  Controller.del_multiflow t spec.src (List.map fst chunks);
+  if chunks <> [] then Controller.put_multiflow t spec.dst chunks;
+  multi := !multi + List.length chunks;
+  bytes :=
+    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+
+(* Transfer per-flow state, optionally pipelining puts behind the
+   streaming get (the parallelizing optimization). [on_put_ack] fires as
+   each chunk's put completes (used by early release). *)
+let transfer_perflow t spec ~late_lock ~on_put_ack counters =
+  let bytes, per = counters in
+  let engine = Controller.engine t in
+  let chunks =
+    if spec.parallel then begin
+      let pending = ref [] in
+      let chunks =
+        Controller.get_perflow t spec.src spec.filter ~late_lock
+          ~compress:spec.compress
+          ~on_piece:(fun flowid chunk ->
+            (* Each exported chunk is deleted at the source and put at
+               the destination immediately (§5.1.3): the state is never
+               live at both instances. *)
+            pending :=
+              Controller.del_perflow_async t spec.src [ flowid ] :: !pending;
+            let ack =
+              Controller.put_perflow_async t spec.dst [ (flowid, chunk) ]
+            in
+            pending := ack :: !pending;
+            Proc.spawn engine (fun () ->
+                Proc.Ivar.read ack;
+                on_put_ack flowid))
+          ()
+      in
+      List.iter Proc.Ivar.read !pending;
+      chunks
+    end
+    else begin
+      let chunks =
+        Controller.get_perflow t spec.src spec.filter ~late_lock
+          ~compress:spec.compress ()
+      in
+      Controller.del_perflow t spec.src (List.map fst chunks);
+      if chunks <> [] then Controller.put_perflow t spec.dst chunks;
+      List.iter (fun (flowid, _) -> on_put_ack flowid) chunks;
+      chunks
+    end
+  in
+  per := !per + List.length chunks;
+  bytes :=
+    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+
+let reroute_final t spec =
+  let filters =
+    if Filter.is_symmetric spec.filter then [ spec.filter ]
+    else [ spec.filter; Filter.mirror spec.filter ]
+  in
+  let cookie = Controller.fresh_cookie t in
+  Controller.install_rule t ~cookie ~priority:Controller.move_final_priority
+    ~filters ~actions:[ Flowtable.Forward (Controller.nf_name spec.dst) ];
+  cookie
+
+(* The two-phase forwarding update plus destination handoff of Figure 6,
+   with barriers in place of the paper's wait-for-first-packet (see the
+   interface comment). *)
+let order_preserving_handoff t spec rs =
+  let engine = Controller.engine t in
+  let dst_name = Controller.nf_name spec.dst in
+  (* Track which packets dst has finished processing, so we can wait for
+     the last packet the switch sent toward the source. *)
+  let dst_processed = Hashtbl.create 256 in
+  let waiting : (int * unit Proc.Ivar.t) option ref = ref None in
+  let dst_sub =
+    Controller.subscribe_events t ~nf:dst_name spec.filter
+      (fun p disposition ->
+        match disposition with
+        | Protocol.Process ->
+          Hashtbl.replace dst_processed p.Packet.id ();
+          (match !waiting with
+          | Some (id, ivar) when id = p.Packet.id ->
+            waiting := None;
+            Proc.Ivar.fill ivar ()
+          | Some _ | None -> ())
+        | Protocol.Buffer | Protocol.Drop -> ())
+  in
+  Controller.enable_events t spec.dst spec.filter Protocol.Buffer;
+  (* Remember the most recent packet the switch copied to us. *)
+  let last_packet = ref None in
+  let pin_sub =
+    Controller.subscribe_packet_in t spec.filter (fun p -> last_packet := Some p)
+  in
+  let filters =
+    if Filter.is_symmetric spec.filter then [ spec.filter ]
+    else [ spec.filter; Filter.mirror spec.filter ]
+  in
+  (* Phase 1: to both the source and the controller. *)
+  let cookie1 = Controller.fresh_cookie t in
+  Controller.install_rule t ~cookie:cookie1
+    ~priority:Controller.phase1_priority ~filters
+    ~actions:
+      [
+        Flowtable.Forward (Controller.nf_name spec.src); Flowtable.To_controller;
+      ];
+  Controller.barrier t;
+  (* Phase 2: directly to the destination. *)
+  let cookie2 = Controller.fresh_cookie t in
+  Controller.install_rule t ~cookie:cookie2
+    ~priority:Controller.phase2_priority ~filters
+    ~actions:[ Flowtable.Forward dst_name ];
+  Controller.barrier t;
+  (* The switch→controller channel is FIFO, so after the phase-2 barrier
+     reply every phase-1 packet-in has been received: [!last_packet] is
+     the true last packet forwarded toward the source. *)
+  (match !last_packet with
+  | None -> ()
+  | Some p ->
+    if not (Hashtbl.mem dst_processed p.Packet.id) then begin
+      let ivar = Proc.Ivar.create engine in
+      waiting := Some (p.Packet.id, ivar);
+      Proc.Ivar.read ivar
+    end);
+  (* Release the packets buffered at the destination. *)
+  Controller.disable_events t spec.dst spec.filter;
+  (* Permanent route, then retire the phase rules. *)
+  let _final = reroute_final t spec in
+  Controller.remove_rule t ~cookie:cookie1;
+  Controller.remove_rule t ~cookie:cookie2;
+  Controller.barrier t;
+  Controller.unsubscribe t dst_sub;
+  Controller.unsubscribe t pin_sub;
+  ignore rs
+
+let run t spec =
+  let engine = Controller.engine t in
+  let started = Engine.now engine in
+  let bytes = ref 0 and per = ref 0 and multi = ref 0 in
+  let lossfree = spec.guarantee <> No_guarantee in
+  let rs =
+    {
+      ctrl = t;
+      dst_port = Controller.nf_name spec.dst;
+      mark_do_not_buffer = spec.guarantee = Order_preserving;
+      buffering = true;
+      global_q = Queue.create ();
+      flow_q = Flow.Table.create 64;
+      released = Flow.Table.create 64;
+      relayed = 0;
+    }
+  in
+  let src_sub =
+    if lossfree then
+      Some
+        (Controller.subscribe_events t ~nf:(Controller.nf_name spec.src)
+           spec.filter (fun p disposition ->
+             match disposition with
+             | Protocol.Drop ->
+               on_source_event rs ~early_release:spec.early_release p
+             | Protocol.Buffer | Protocol.Process -> ()))
+    else None
+  in
+  (* Clear any stale event filter a previous move of the same set of
+     flows may have left at today's destination (it was that move's
+     source); without this, moving flows back within the grace period
+     would bounce packets between the instances forever. *)
+  if lossfree then Controller.disable_events t spec.dst spec.filter;
+  if lossfree && not spec.early_release then
+    Controller.enable_events t spec.src spec.filter Protocol.Drop;
+  if Scope.mem Scope.Multi spec.scope then
+    transfer_multiflow t spec (bytes, multi);
+  if Scope.mem Scope.All spec.scope then transfer_allflows t spec (bytes, multi);
+  if Scope.mem Scope.Per spec.scope then
+    transfer_perflow t spec ~late_lock:spec.early_release
+      ~on_put_ack:(fun flowid -> if spec.early_release then release_flow rs flowid)
+      (bytes, per);
+  if lossfree then flush_all rs;
+  (match spec.guarantee with
+  | No_guarantee | Loss_free ->
+    let _final = reroute_final t spec in
+    Controller.barrier t;
+    (* Disabling events on the source immediately would drop stragglers
+       still in flight or queued there; the paper issues the disable
+       "after several minutes" (§5.1.1). Here: after a grace period that
+       comfortably exceeds link and queueing delays. *)
+    if lossfree then
+      Proc.spawn engine (fun () ->
+          Proc.sleep spec.disable_grace;
+          Controller.disable_events t spec.src spec.filter;
+          Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub)
+  | Order_preserving ->
+    order_preserving_handoff t spec rs;
+    (* Safe here: the handoff waited for the destination to process the
+       last packet the switch ever sent toward the source. *)
+    Controller.disable_events t spec.src spec.filter;
+    Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub);
+  {
+    rp_filter = spec.filter;
+    rp_src = Controller.nf_name spec.src;
+    rp_dst = Controller.nf_name spec.dst;
+    rp_guarantee = spec.guarantee;
+    started;
+    finished = Engine.now engine;
+    per_chunks = !per;
+    multi_chunks = !multi;
+    state_bytes = !bytes;
+    relayed = rs.relayed;
+  }
+
+let start t spec =
+  let engine = Controller.engine t in
+  let ivar = Proc.Ivar.create engine in
+  Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (run t spec));
+  ivar

@@ -1,0 +1,92 @@
+(** The northbound [move] operation (§5.1).
+
+    Transfers both the state and the input (traffic) for a set of flows
+    from one NF instance to another:
+
+    - {b No_guarantee}: get → del → put → reroute. Packets reaching the
+      source mid-move are dropped (§5.1, Figure 11(a)).
+    - {b Loss_free}: events are enabled (action [drop]) on the source
+      before the state transfer, buffered at the controller, and flushed
+      to the destination after the put completes; then the route is
+      updated (§5.1.1).
+    - {b Order_preserving} (implies loss-free): additionally buffers at
+      the destination and performs the two-phase forwarding update of
+      Figure 6, so processing order equals the switch's forwarding
+      order. Where the paper waits for the first packet-in before
+      installing the second phase, this implementation uses switch
+      barriers (footnote 8's consistency mechanisms) and then waits for
+      the destination to have processed the last packet the switch sent
+      toward the source — a strengthening that is provably race-free on
+      FIFO channels and never blocks on idle flows.
+
+    Optimizations (§5.1.3): [parallel] streams chunks from the get and
+    pipelines one put per chunk; [early_release] adds late locking (the
+    source starts raising events for a flow only when that flow's chunk
+    is captured) and per-flow release of buffered events as soon as that
+    flow's put is acknowledged. [early_release] implies [parallel] and,
+    per the paper, must not be combined with a move of both per-flow and
+    multi-flow scopes. *)
+
+open Opennf_net
+open Opennf_state
+module Proc = Opennf_sim.Proc
+
+type guarantee = No_guarantee | Loss_free | Order_preserving
+
+val pp_guarantee : Format.formatter -> guarantee -> unit
+
+type spec = {
+  src : Controller.nf;
+  dst : Controller.nf;
+  filter : Filter.t;
+  scope : Scope.t list;
+      (** [Per], [Multi] and/or [All]. All-flows state has no delete
+          (§4.2), so including [All] copies it under the move's event
+          protection — giving the destination a snapshot consistent with
+          exactly the packets the source processed. *)
+  guarantee : guarantee;
+  parallel : bool;
+  early_release : bool;
+  compress : bool;
+  disable_grace : float;
+      (** Loss-free moves leave the source's drop-events enabled so
+          in-flight stragglers keep being relayed; they are disabled
+          this long after the move completes (the paper's "after
+          several minutes", §5.1.1; default 0.5 s of virtual time). *)
+}
+
+val spec :
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?guarantee:guarantee ->
+  ?parallel:bool ->
+  ?early_release:bool ->
+  ?compress:bool ->
+  ?disable_grace:float ->
+  unit ->
+  spec
+(** Defaults: scope [[Per]], [Loss_free], optimizations off. *)
+
+type report = {
+  rp_filter : Filter.t;
+  rp_src : string;
+  rp_dst : string;
+  rp_guarantee : guarantee;
+  started : float;
+  finished : float;
+  per_chunks : int;
+  multi_chunks : int;
+  state_bytes : int;  (** Serialized state transferred. *)
+  relayed : int;  (** Packets carried through controller events. *)
+}
+
+val duration : report -> float
+val pp_report : Format.formatter -> report -> unit
+
+val run : Controller.t -> spec -> report
+(** Blocking; call from a simulation process. *)
+
+val start : Controller.t -> spec -> report Proc.Ivar.t
+(** Spawn the move and return an ivar filled with its report. *)

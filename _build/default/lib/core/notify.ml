@@ -1,0 +1,23 @@
+module Protocol = Opennf_sb.Protocol
+open Opennf_net
+
+type handle = {
+  nf : Controller.nf;
+  filter : Filter.t;
+  sub : Controller.subscription;
+}
+
+let enable t nf filter callback =
+  let sub =
+    Controller.subscribe_events t ~nf:(Controller.nf_name nf) filter
+      (fun packet disposition ->
+        match disposition with
+        | Protocol.Process -> callback packet
+        | Protocol.Buffer | Protocol.Drop -> ())
+  in
+  Controller.enable_events t nf filter Protocol.Process;
+  { nf; filter; sub }
+
+let disable t handle =
+  Controller.disable_events t handle.nf handle.filter;
+  Controller.unsubscribe t handle.sub

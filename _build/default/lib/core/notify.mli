@@ -1,0 +1,17 @@
+(** The [notify] convenience (§5.2.1): lets control applications learn
+    when state is being updated, by turning NF packet-received events
+    into controller-side callbacks. Used by the failure-recovery
+    application to re-copy state whenever a significant packet (SYN,
+    RST, HTTP request) is processed. *)
+
+open Opennf_net
+
+type handle
+
+val enable :
+  Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
+(** [enable t inst filter callback]: events with action [process] are
+    enabled on [inst]; the callback fires at the controller for every
+    matching packet the instance processes. *)
+
+val disable : Controller.t -> handle -> unit

@@ -1,0 +1,206 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Protocol = Opennf_sb.Protocol
+open Opennf_net
+open Opennf_state
+
+type consistency = Strong | Strict
+
+let strict_priority = 400
+
+type group = {
+  flowid : Filter.t;
+  queue : (Controller.nf * Packet.t) Queue.t;
+  mutable busy : bool;
+}
+
+type t = {
+  ctrl : Controller.t;
+  instances : Controller.nf list;
+  filter : Filter.t;
+  scope : Scope.t list;
+  group_of : Packet.t -> Filter.t;
+  consistency : consistency;
+  groups : (Filter.t, group) Hashtbl.t;
+  completion : (int, unit Proc.Ivar.t) Hashtbl.t;
+  mutable subs : Controller.subscription list;
+  strict_cookie : int option;
+  mutable updates_synced : int;
+  mutable packets_serialized : int;
+}
+
+type stats = { updates_synced : int; packets_serialized : int }
+
+let sync_group t nf =
+  let others =
+    List.filter
+      (fun i -> Controller.nf_name i <> Controller.nf_name nf)
+      t.instances
+  in
+  let push get put_async flowid =
+    let chunks = get t.ctrl nf flowid () in
+    if chunks <> [] then
+      List.iter Proc.Ivar.read
+        (List.map (fun other -> put_async t.ctrl other chunks) others)
+  in
+  fun group_flowid ->
+    if Scope.mem Scope.Per t.scope then
+      push
+        (fun c nf f () -> Controller.get_perflow c nf f ())
+        Controller.put_perflow_async group_flowid;
+    if Scope.mem Scope.Multi t.scope then
+      push
+        (fun c nf f () -> Controller.get_multiflow c nf f ())
+        Controller.put_multiflow_async group_flowid;
+    if Scope.mem Scope.All t.scope then begin
+      let chunks = Controller.get_allflows t.ctrl nf in
+      if chunks <> [] then
+        List.iter (fun other -> Controller.put_allflows t.ctrl other chunks) others
+    end;
+    t.updates_synced <- t.updates_synced + 1
+
+let rec drain t group =
+  match Queue.take_opt group.queue with
+  | None -> group.busy <- false
+  | Some (nf, pkt) ->
+    pkt.Packet.do_not_drop <- true;
+    let done_ivar = Proc.Ivar.create (Controller.engine t.ctrl) in
+    Hashtbl.replace t.completion pkt.Packet.id done_ivar;
+    t.packets_serialized <- t.packets_serialized + 1;
+    Controller.packet_out t.ctrl ~port:(Controller.nf_name nf) pkt;
+    Proc.Ivar.read done_ivar;
+    Hashtbl.remove t.completion pkt.Packet.id;
+    (* State reads/updates at the instance are complete; propagate. *)
+    sync_group t nf group.flowid;
+    drain t group
+
+let enqueue t nf pkt =
+  let flowid = t.group_of pkt in
+  let group =
+    match Hashtbl.find_opt t.groups flowid with
+    | Some g -> g
+    | None ->
+      let g = { flowid; queue = Queue.create (); busy = false } in
+      Hashtbl.add t.groups flowid g;
+      g
+  in
+  Queue.push (nf, pkt) group.queue;
+  if not group.busy then begin
+    group.busy <- true;
+    Proc.spawn (Controller.engine t.ctrl) (fun () -> drain t group)
+  end
+
+let on_event t nf (pkt : Packet.t) disposition =
+  match disposition with
+  | Protocol.Process -> (
+    match Hashtbl.find_opt t.completion pkt.Packet.id with
+    | Some ivar -> Proc.Ivar.fill ivar ()
+    | None ->
+      (* Strict mode: packets reach instances only through our replays,
+         so an unknown Process event is a packet from before the share
+         was set up; ignore it. In strong mode the same holds. *)
+      ())
+  | Protocol.Drop -> enqueue t nf pkt
+  | Protocol.Buffer -> ()
+
+let initial_sync t =
+  match t.instances with
+  | [] | [ _ ] -> ()
+  | first :: _ -> sync_group t first t.filter
+
+let start ctrl ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of ?route
+    ~consistency () =
+  if instances = [] then invalid_arg "Share.start: no instances";
+  let group_of =
+    match group_of with
+    | Some f -> f
+    | None -> fun (p : Packet.t) -> Filter.of_src_host p.Packet.key.Flow.src_ip
+  in
+  let strict_cookie =
+    match consistency with
+    | Strong -> None
+    | Strict -> Some (Controller.fresh_cookie ctrl)
+  in
+  let t =
+    {
+      ctrl;
+      instances;
+      filter;
+      scope;
+      group_of;
+      consistency;
+      groups = Hashtbl.create 16;
+      completion = Hashtbl.create 64;
+      subs = [];
+      strict_cookie;
+      updates_synced = 0;
+      packets_serialized = 0;
+    }
+  in
+  (* Subscribe to events from every instance. *)
+  t.subs <-
+    List.map
+      (fun nf ->
+        Controller.subscribe_events ctrl ~nf:(Controller.nf_name nf) filter
+          (on_event t nf))
+      instances;
+  (match consistency with
+  | Strong ->
+    List.iter
+      (fun nf -> Controller.enable_events ctrl nf filter Protocol.Drop)
+      instances
+  | Strict ->
+    List.iter
+      (fun nf -> Controller.enable_events ctrl nf filter Protocol.Process)
+      instances;
+    (* Divert matching traffic to the controller so it observes the true
+       arrival order. *)
+    let route = match route with Some r -> r | None -> fun _ -> List.hd instances in
+    let sub =
+      Controller.subscribe_packet_in ctrl filter (fun p ->
+          enqueue t (route p) p)
+    in
+    t.subs <- sub :: t.subs;
+    let filters =
+      if Filter.is_symmetric filter then [ filter ]
+      else [ filter; Filter.mirror filter ]
+    in
+    Controller.install_rule ctrl
+      ~cookie:(Option.get strict_cookie)
+      ~priority:strict_priority ~filters ~actions:[ Flowtable.To_controller ];
+    Controller.barrier ctrl);
+  initial_sync t;
+  t
+
+let stats (t : t) : stats =
+  {
+    updates_synced = t.updates_synced;
+    packets_serialized = t.packets_serialized;
+  }
+
+let idle t =
+  Hashtbl.fold
+    (fun _ g acc -> acc && (not g.busy) && Queue.is_empty g.queue)
+    t.groups true
+
+let stop t =
+  (* Stop the sources of new work first, then drain what is in flight. *)
+  (match t.strict_cookie with
+  | Some cookie ->
+    Controller.remove_rule t.ctrl ~cookie;
+    Controller.barrier t.ctrl
+  | None -> ());
+  List.iter
+    (fun nf -> Controller.disable_events t.ctrl nf t.filter)
+    t.instances;
+  (* Allow in-flight events to arrive, then wait for the queues to empty. *)
+  Proc.sleep 0.01;
+  let rec wait () =
+    if not (idle t) then begin
+      Proc.sleep 0.001;
+      wait ()
+    end
+  in
+  wait ();
+  List.iter (Controller.unsubscribe t.ctrl) t.subs;
+  t.subs <- []

@@ -1,0 +1,1 @@
+lib/net/audit.ml: Filter Flow Hashtbl List Opennf_sim Option Packet

@@ -1,0 +1,1 @@
+lib/net/audit.mli: Filter Opennf_sim Packet

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Format Hashtbl Int Int64 Ipaddr Map Opennf_util Printf Set Stdlib

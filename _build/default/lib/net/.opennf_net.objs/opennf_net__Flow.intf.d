@@ -1,0 +1,1 @@
+lib/net/flow.mli: Format Hashtbl Ipaddr Map Set

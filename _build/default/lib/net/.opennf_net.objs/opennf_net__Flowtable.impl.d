@@ -1,0 +1,1 @@
+lib/net/flowtable.ml: Filter List

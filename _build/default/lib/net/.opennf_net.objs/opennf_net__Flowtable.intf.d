@@ -1,0 +1,1 @@
+lib/net/flowtable.mli: Filter Packet

@@ -1,0 +1,1 @@
+lib/net/switch.ml: Audit Channel Filter Float Flowtable Hashtbl List Opennf_sim Packet Printf

@@ -1,0 +1,1 @@
+lib/net/switch.mli: Audit Channel Filter Flowtable Opennf_sim Packet

@@ -1,0 +1,167 @@
+module Engine = Opennf_sim.Engine
+
+type record = { pkt : int; key : Flow.key; nf : string; time : float }
+
+type t = {
+  engine : Engine.t;
+  mutable arrivals : record list;  (** Reverse chronological. *)
+  mutable forwards : record list;  (** Reverse chronological. *)
+  mutable processes : record list;
+  mutable drops : record list;
+  mutable events : record list;
+  mutable buffers : record list;
+  arrived : (int, unit) Hashtbl.t;
+  first_forward : (int, float) Hashtbl.t;
+  first_arrival : (int, float) Hashtbl.t;
+  first_process : (int, float) Hashtbl.t;
+}
+
+let create engine =
+  {
+    engine;
+    arrivals = [];
+    arrived = Hashtbl.create 1024;
+    forwards = [];
+    processes = [];
+    drops = [];
+    events = [];
+    buffers = [];
+    first_forward = Hashtbl.create 1024;
+    first_arrival = Hashtbl.create 1024;
+    first_process = Hashtbl.create 1024;
+  }
+
+let record t (p : Packet.t) name =
+  { pkt = p.id; key = p.key; nf = name; time = Engine.now t.engine }
+
+let remember tbl id time = if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id time
+
+let log_switch_arrival t p =
+  if not (Hashtbl.mem t.arrived p.Packet.id) then begin
+    Hashtbl.add t.arrived p.Packet.id ();
+    t.arrivals <- record t p "sw" :: t.arrivals
+  end
+
+let log_forward t p ~dst =
+  let r = record t p dst in
+  t.forwards <- r :: t.forwards;
+  remember t.first_forward p.id r.time
+
+let log_nf_arrival t p ~nf =
+  let r = record t p nf in
+  remember t.first_arrival p.id r.time
+
+let log_process t p ~nf =
+  let r = record t p nf in
+  t.processes <- r :: t.processes;
+  remember t.first_process p.id r.time
+
+let log_drop t p ~nf = t.drops <- record t p nf :: t.drops
+let log_evented t p ~nf = t.events <- record t p nf :: t.events
+let log_buffered t p ~nf = t.buffers <- record t p nf :: t.buffers
+
+let in_filter filter (r : record) =
+  match filter with None -> true | Some f -> Filter.matches_flow f r.key
+
+let by_nf nf (r : record) = match nf with None -> true | Some n -> r.nf = n
+
+let forwarded_order ?filter t =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun r ->
+      if in_filter filter r && not (Hashtbl.mem seen r.pkt) then begin
+        Hashtbl.add seen r.pkt ();
+        Some r.pkt
+      end
+      else None)
+    (List.rev t.forwards)
+
+let processed_order ?filter ?nf t =
+  List.filter_map
+    (fun r -> if in_filter filter r && by_nf nf r then Some r.pkt else None)
+    (List.rev t.processes)
+
+let drop_count ?nf t = List.length (List.filter (by_nf nf) t.drops)
+let processed_count ?nf t = List.length (List.filter (by_nf nf) t.processes)
+
+let lost ?filter t ~nfs =
+  let processed = Hashtbl.create 1024 in
+  List.iter
+    (fun (r : record) ->
+      if List.mem r.nf nfs then Hashtbl.replace processed r.pkt ())
+    t.processes;
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun (r : record) ->
+      if
+        in_filter filter r
+        && List.mem r.nf nfs
+        && (not (Hashtbl.mem seen r.pkt))
+        && not (Hashtbl.mem processed r.pkt)
+      then begin
+        Hashtbl.add seen r.pkt ();
+        Some r.pkt
+      end
+      else None)
+    (List.rev t.forwards)
+
+let duplicated ?filter t =
+  let counts = Hashtbl.create 1024 in
+  List.iter
+    (fun (r : record) ->
+      if in_filter filter r then
+        Hashtbl.replace counts r.pkt
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts r.pkt)))
+    t.processes;
+  Hashtbl.fold (fun id n acc -> if n > 1 then id :: acc else acc) counts []
+
+let violations_against t reference_order ?filter () =
+  let pos = Hashtbl.create 1024 in
+  List.iteri (fun i id -> Hashtbl.replace pos id i) reference_order;
+  let proc =
+    List.filter (fun id -> Hashtbl.mem pos id) (processed_order ?filter t)
+  in
+  (* A violation is an inversion between the reference position and the
+     processing position. Report adjacent-in-processing inversions, which
+     is enough to witness any reordering. *)
+  let rec scan acc = function
+    | a :: (b :: _ as rest) ->
+      let pa = Hashtbl.find pos a and pb = Hashtbl.find pos b in
+      let acc = if pa > pb then (b, a) :: acc else acc in
+      scan acc rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  scan [] proc
+
+let order_violations ?filter t =
+  violations_against t (forwarded_order ?filter t) ?filter ()
+
+let arrival_order t filter =
+  List.filter_map
+    (fun r -> if in_filter filter r then Some r.pkt else None)
+    (List.rev t.arrivals)
+
+let arrival_order_violations ?filter t =
+  violations_against t (arrival_order t filter) ?filter ()
+
+let added_latency t ~pkt =
+  match
+    (Hashtbl.find_opt t.first_arrival pkt, Hashtbl.find_opt t.first_process pkt)
+  with
+  | Some arrival, Some proc -> Some (proc -. arrival)
+  | _ -> None
+
+let evented_ids ?nf t =
+  List.rev
+    (List.filter_map
+       (fun r -> if by_nf nf r then Some r.pkt else None)
+       t.events)
+
+let buffered_ids ?nf t =
+  List.rev
+    (List.filter_map
+       (fun r -> if by_nf nf r then Some r.pkt else None)
+       t.buffers)
+
+let first_forward_time t ~pkt = Hashtbl.find_opt t.first_forward pkt
+let process_time t ~pkt = Hashtbl.find_opt t.first_process pkt

@@ -1,0 +1,70 @@
+(** Audit ledger: the ground truth for safety properties.
+
+    The switch logs every forwarding decision; NF runtimes log arrivals,
+    processing, drops, buffering and event generation. Tests and benches
+    query this ledger to check the paper's §5.1 definitions:
+
+    - {b loss-freedom}: every packet the switch forwarded toward NF
+      instances is eventually processed by exactly one instance;
+    - {b order preservation}: the cross-instance processing order equals
+      the switch's (first-time) forwarding order. *)
+
+type t
+
+val create : Opennf_sim.Engine.t -> t
+
+(** {1 Recording} *)
+
+val log_forward : t -> Packet.t -> dst:string -> unit
+(** The switch forwarded the packet out the port named [dst]. Relays of
+    an already-forwarded id are recorded but do not change the packet's
+    first-forwarding position. *)
+
+val log_switch_arrival : t -> Packet.t -> unit
+(** The packet reached the switch from the network (recorded once per
+    id). Arrival order is the ground truth for control planes that
+    divert packets entirely to the controller, where no port forwarding
+    happens until re-injection. *)
+
+val log_nf_arrival : t -> Packet.t -> nf:string -> unit
+val log_process : t -> Packet.t -> nf:string -> unit
+val log_drop : t -> Packet.t -> nf:string -> unit
+val log_evented : t -> Packet.t -> nf:string -> unit
+(** The NF raised a packet-received event for this packet. *)
+
+val log_buffered : t -> Packet.t -> nf:string -> unit
+
+(** {1 Queries} *)
+
+val forwarded_order : ?filter:Filter.t -> t -> int list
+(** Packet ids in first-forwarding order (deduplicated). *)
+
+val processed_order : ?filter:Filter.t -> ?nf:string -> t -> int list
+(** Packet ids in processing order, across all instances unless [nf] is
+    given. Ids repeat if a packet was processed more than once. *)
+
+val drop_count : ?nf:string -> t -> int
+val processed_count : ?nf:string -> t -> int
+
+val lost : ?filter:Filter.t -> t -> nfs:string list -> int list
+(** Ids forwarded to one of [nfs] (first forwarding) but never processed
+    by any of them. *)
+
+val duplicated : ?filter:Filter.t -> t -> int list
+(** Ids processed more than once across all instances. *)
+
+val order_violations : ?filter:Filter.t -> t -> (int * int) list
+(** Pairs [(a, b)] where [a] was first-forwarded before [b] but processed
+    after it (both restricted to [filter] and to processed packets). *)
+
+val arrival_order_violations : ?filter:Filter.t -> t -> (int * int) list
+(** Like {!order_violations}, but against switch {e arrival} order. *)
+
+val added_latency : t -> pkt:int -> float option
+(** [process_time - first NF arrival time] for the packet, if both are
+    recorded. *)
+
+val evented_ids : ?nf:string -> t -> int list
+val buffered_ids : ?nf:string -> t -> int list
+val first_forward_time : t -> pkt:int -> float option
+val process_time : t -> pkt:int -> float option

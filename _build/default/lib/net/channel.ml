@@ -1,0 +1,51 @@
+type 'a t = {
+  engine : Opennf_sim.Engine.t;
+  latency : float;
+  bandwidth : float option;
+  name : string;
+  mutable handler : ('a -> int -> unit) option;
+  mutable busy_until : float;  (** Sender-side serialization. *)
+  mutable last_delivery : float;  (** Enforces FIFO delivery. *)
+  mutable sent_count : int;
+  mutable bytes_sent : int;
+}
+
+let create engine ~latency ?bandwidth ~name () =
+  {
+    engine;
+    latency;
+    bandwidth;
+    name;
+    handler = None;
+    busy_until = 0.0;
+    last_delivery = 0.0;
+    sent_count = 0;
+    bytes_sent = 0;
+  }
+
+let set_handler t f = t.handler <- Some (fun msg _size -> f msg)
+let set_handler_with_size t f = t.handler <- Some f
+
+let send t ?(size = 0) msg =
+  let module Engine = Opennf_sim.Engine in
+  let now = Engine.now t.engine in
+  let start = Float.max now t.busy_until in
+  let tx_time =
+    match t.bandwidth with
+    | None -> 0.0
+    | Some bw -> float_of_int size /. bw
+  in
+  t.busy_until <- start +. tx_time;
+  let delivery = Float.max (t.busy_until +. t.latency) t.last_delivery in
+  t.last_delivery <- delivery;
+  t.sent_count <- t.sent_count + 1;
+  t.bytes_sent <- t.bytes_sent + size;
+  Engine.schedule_at t.engine delivery (fun () ->
+      match t.handler with
+      | Some f -> f msg size
+      | None ->
+        invalid_arg (Printf.sprintf "Channel %s: no handler installed" t.name))
+
+let name t = t.name
+let sent_count t = t.sent_count
+let bytes_sent t = t.bytes_sent

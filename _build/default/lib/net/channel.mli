@@ -1,0 +1,34 @@
+(** Point-to-point FIFO message channels.
+
+    Models both data links (switch port → NF) and control channels
+    (controller ↔ switch, controller ↔ NF). Delivery time accounts for
+    propagation latency and optional serialization at a byte bandwidth;
+    delivery order always equals send order (FIFO), which the
+    order-preserving move protocol relies on. *)
+
+type 'a t
+
+val create :
+  Opennf_sim.Engine.t ->
+  latency:float ->
+  ?bandwidth:float ->
+  name:string ->
+  unit ->
+  'a t
+(** [bandwidth] is bytes/second; omitted means infinite. *)
+
+val set_handler : 'a t -> ('a -> unit) -> unit
+(** Must be called before the first delivery is due. *)
+
+val set_handler_with_size : 'a t -> ('a -> int -> unit) -> unit
+(** Like [set_handler], but the handler also receives the wire size the
+    sender declared (receivers whose processing cost scales with bytes
+    read need it). *)
+
+val send : 'a t -> ?size:int -> 'a -> unit
+(** [size] (bytes) matters only when the channel has finite bandwidth;
+    defaults to 0. *)
+
+val name : 'a t -> string
+val sent_count : 'a t -> int
+val bytes_sent : 'a t -> int

@@ -1,0 +1,144 @@
+type t = {
+  src : Ipaddr.Prefix.t option;
+  dst : Ipaddr.Prefix.t option;
+  proto : Flow.proto option;
+  src_port : int option;
+  dst_port : int option;
+  tcp_flag : Packet.tcp_flag option;
+  app : string option;
+}
+
+let any =
+  {
+    src = None;
+    dst = None;
+    proto = None;
+    src_port = None;
+    dst_port = None;
+    tcp_flag = None;
+    app = None;
+  }
+
+let make ?src ?dst ?proto ?src_port ?dst_port ?tcp_flag ?app () =
+  { src; dst; proto; src_port; dst_port; tcp_flag; app }
+
+let of_key (k : Flow.key) =
+  {
+    src = Some (Ipaddr.Prefix.host k.src_ip);
+    dst = Some (Ipaddr.Prefix.host k.dst_ip);
+    proto = Some k.proto;
+    src_port = Some k.src_port;
+    dst_port = Some k.dst_port;
+    tcp_flag = None;
+    app = None;
+  }
+
+let of_src_prefix p = { any with src = Some p }
+let of_src_host ip = { any with src = Some (Ipaddr.Prefix.host ip) }
+let of_dst_host ip = { any with dst = Some (Ipaddr.Prefix.host ip) }
+let of_app app = { any with app = Some app }
+
+let mirror t =
+  { t with src = t.dst; dst = t.src; src_port = t.dst_port; dst_port = t.src_port }
+
+let opt_equal eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | None, Some _ | Some _, None -> false
+
+let equal a b =
+  opt_equal Ipaddr.Prefix.equal a.src b.src
+  && opt_equal Ipaddr.Prefix.equal a.dst b.dst
+  && opt_equal ( = ) a.proto b.proto
+  && opt_equal Int.equal a.src_port b.src_port
+  && opt_equal Int.equal a.dst_port b.dst_port
+  && opt_equal ( = ) a.tcp_flag b.tcp_flag
+  && opt_equal String.equal a.app b.app
+
+let compare = Stdlib.compare
+let is_symmetric t = equal (mirror t) t
+
+let field_matches check constraint_ value =
+  match constraint_ with None -> true | Some c -> check c value
+
+let matches_key t (k : Flow.key) =
+  field_matches (fun p v -> Ipaddr.Prefix.mem v p) t.src k.src_ip
+  && field_matches (fun p v -> Ipaddr.Prefix.mem v p) t.dst k.dst_ip
+  && field_matches ( = ) t.proto k.proto
+  && field_matches Int.equal t.src_port k.src_port
+  && field_matches Int.equal t.dst_port k.dst_port
+
+let matches_packet t (p : Packet.t) =
+  matches_key t p.key
+  && field_matches (fun f pkt -> Packet.has_flag pkt f) t.tcp_flag p
+
+let matches_flow t k = matches_key t k || matches_key t (Flow.reverse k)
+
+let matches_host t ip =
+  let mem = function None -> false | Some p -> Ipaddr.Prefix.mem ip p in
+  match (t.src, t.dst) with
+  | None, None -> true
+  | _ -> mem t.src || mem t.dst
+
+(* A flowid field is accepted if the filter has no constraint on it or the
+   constraint is compatible (prefix inclusion for addresses, equality
+   otherwise). Fields absent from the flowid are ignored (§4.2). *)
+let accepts_flowid_directed filter flowid =
+  let prefix_ok c v =
+    match (c, v) with
+    | None, _ | _, None -> true
+    | Some c, Some v -> Ipaddr.Prefix.subset v c
+  in
+  let eq_ok c v =
+    match (c, v) with
+    | None, _ | _, None -> true
+    | Some c, Some v -> c = v
+  in
+  prefix_ok filter.src flowid.src
+  && prefix_ok filter.dst flowid.dst
+  && eq_ok filter.proto flowid.proto
+  && eq_ok filter.src_port flowid.src_port
+  && eq_ok filter.dst_port flowid.dst_port
+  && eq_ok filter.app flowid.app
+
+let accepts_flowid filter flowid =
+  accepts_flowid_directed filter flowid
+  || accepts_flowid_directed filter (mirror flowid)
+
+let exact_prefix = function
+  | Some p when Ipaddr.Prefix.bits p = 32 -> Some (Ipaddr.Prefix.network p)
+  | Some _ | None -> None
+
+let exact_key t =
+  match
+    ( exact_prefix t.src,
+      exact_prefix t.dst,
+      t.proto,
+      t.src_port,
+      t.dst_port )
+  with
+  | Some src, Some dst, Some proto, Some sport, Some dport ->
+    Some (Flow.make ~src ~dst ~proto ~sport ~dport ())
+  | _ -> None
+
+let exact_src_host t = exact_prefix t.src
+
+let to_string t =
+  let parts = ref [] in
+  let add name v = parts := Printf.sprintf "%s=%s" name v :: !parts in
+  Option.iter (fun p -> add "src" (Ipaddr.Prefix.to_string p)) t.src;
+  Option.iter (fun p -> add "dst" (Ipaddr.Prefix.to_string p)) t.dst;
+  Option.iter (fun p -> add "proto" (Flow.proto_to_string p)) t.proto;
+  Option.iter (fun p -> add "sport" (string_of_int p)) t.src_port;
+  Option.iter (fun p -> add "dport" (string_of_int p)) t.dst_port;
+  Option.iter
+    (fun f ->
+      add "flag" (Format.asprintf "%a" Packet.pp_flags [ f ]))
+    t.tcp_flag;
+  Option.iter (fun a -> add "app" a) t.app;
+  match !parts with
+  | [] -> "{*}"
+  | ps -> "{" ^ String.concat "," (List.rev ps) ^ "}"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

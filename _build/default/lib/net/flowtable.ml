@@ -1,0 +1,56 @@
+type action = Forward of string | To_controller
+
+type rule = {
+  cookie : int;
+  priority : int;
+  filters : Filter.t list;
+  actions : action list;
+  mutable matched : int;
+}
+
+type entry = { rule : rule; installed_seq : int }
+type t = { mutable entries : entry list; mutable next_seq : int }
+
+let create () = { entries = []; next_seq = 0 }
+
+let install t ~cookie ~priority ~filters ~actions =
+  let rule = { cookie; priority; filters; actions; matched = 0 } in
+  let entry = { rule; installed_seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  t.entries <- entry :: List.filter (fun e -> e.rule.cookie <> cookie) t.entries
+
+let remove t ~cookie =
+  t.entries <- List.filter (fun e -> e.rule.cookie <> cookie) t.entries
+
+let rule_matches r p = List.exists (fun f -> Filter.matches_packet f p) r.filters
+
+let lookup t p =
+  let best =
+    List.fold_left
+      (fun best e ->
+        if rule_matches e.rule p then
+          match best with
+          | None -> Some e
+          | Some b ->
+            if
+              e.rule.priority > b.rule.priority
+              || (e.rule.priority = b.rule.priority
+                 && e.installed_seq > b.installed_seq)
+            then Some e
+            else best
+        else best)
+      None t.entries
+  in
+  match best with
+  | None -> None
+  | Some e ->
+    e.rule.matched <- e.rule.matched + 1;
+    Some e.rule
+
+let find t ~cookie =
+  List.find_map
+    (fun e -> if e.rule.cookie = cookie then Some e.rule else None)
+    t.entries
+
+let rules t = List.map (fun e -> e.rule) t.entries
+let size t = List.length t.entries

@@ -1,0 +1,33 @@
+(** Priority flow tables (the data-plane half of the SDN switch). *)
+
+type action =
+  | Forward of string  (** Output on the port with this name. *)
+  | To_controller  (** Send a packet-in to the controller. *)
+
+type rule = {
+  cookie : int;  (** Controller-chosen identity; install replaces. *)
+  priority : int;
+  filters : Filter.t list;  (** The rule matches if any filter matches. *)
+  actions : action list;
+  mutable matched : int;  (** Packets matched so far (OpenFlow counter). *)
+}
+
+type t
+
+val create : unit -> t
+
+val install :
+  t -> cookie:int -> priority:int -> filters:Filter.t list ->
+  actions:action list -> unit
+(** Atomically adds the rule, replacing any rule with the same cookie. *)
+
+val remove : t -> cookie:int -> unit
+(** No-op if absent. *)
+
+val lookup : t -> Packet.t -> rule option
+(** Highest-priority matching rule; among equal priorities the most
+    recently installed wins. *)
+
+val find : t -> cookie:int -> rule option
+val rules : t -> rule list
+val size : t -> int

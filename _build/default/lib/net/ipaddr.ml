@@ -1,0 +1,62 @@
+type t = int
+
+let octet_ok x = x >= 0 && x <= 255
+
+let v a b c d =
+  if not (octet_ok a && octet_ok b && octet_ok c && octet_ok d) then
+    invalid_arg "Ipaddr.v: octet out of range";
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_int i = i land 0xFFFFFFFF
+let to_int t = t
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+    try v (int_of_string a) (int_of_string b) (int_of_string c) (int_of_string d)
+    with Failure _ -> invalid_arg ("Ipaddr.of_string: " ^ s))
+  | _ -> invalid_arg ("Ipaddr.of_string: " ^ s)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xFF) ((t lsr 16) land 0xFF)
+    ((t lsr 8) land 0xFF) (t land 0xFF)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let compare = Int.compare
+let equal = Int.equal
+let hash t = t
+
+module Prefix = struct
+  type nonrec t = { network : t; bits : int }
+
+  let mask bits = if bits = 0 then 0 else 0xFFFFFFFF lsl (32 - bits) land 0xFFFFFFFF
+
+  let make addr bits =
+    if bits < 0 || bits > 32 then invalid_arg "Prefix.make: bad length";
+    { network = addr land mask bits; bits }
+
+  let of_string s =
+    match String.index_opt s '/' with
+    | None -> make (of_string s) 32
+    | Some i ->
+      let addr = of_string (String.sub s 0 i) in
+      let bits =
+        try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        with Failure _ -> invalid_arg ("Prefix.of_string: " ^ s)
+      in
+      make addr bits
+
+  let host addr = make addr 32
+  let mem addr t = addr land mask t.bits = t.network
+  let subset a b = a.bits >= b.bits && a.network land mask b.bits = b.network
+  let bits t = t.bits
+  let network t = t.network
+  let to_string t = Printf.sprintf "%s/%d" (to_string t.network) t.bits
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+  let compare a b =
+    match Int.compare a.network b.network with
+    | 0 -> Int.compare a.bits b.bits
+    | c -> c
+
+  let equal a b = compare a b = 0
+end

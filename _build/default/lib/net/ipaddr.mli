@@ -1,0 +1,48 @@
+(** IPv4 addresses and prefixes. *)
+
+type t
+(** An IPv4 address. Total order; usable as a map key. *)
+
+val v : int -> int -> int -> int -> t
+(** [v 10 0 0 1] is 10.0.0.1. Each octet must be in [\[0, 255\]]. *)
+
+val of_int : int -> t
+(** From a 32-bit value (host order). *)
+
+val to_int : t -> int
+
+val of_string : string -> t
+(** Parses dotted-quad notation. Raises [Invalid_argument] otherwise. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+module Prefix : sig
+  type addr := t
+
+  type t
+  (** A CIDR prefix such as 10.0.0.0/8. *)
+
+  val make : addr -> int -> t
+  (** [make addr len]; [len] in [\[0, 32\]]. Host bits are zeroed. *)
+
+  val of_string : string -> t
+  (** Parses ["10.0.0.0/8"]; a bare address means /32. *)
+
+  val host : addr -> t
+  (** /32 prefix for one address. *)
+
+  val mem : addr -> t -> bool
+  val subset : t -> t -> bool
+  (** [subset a b] iff every address in [a] is in [b]. *)
+
+  val bits : t -> int
+  val network : t -> addr
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end

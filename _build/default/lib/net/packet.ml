@@ -1,0 +1,51 @@
+type tcp_flag = Syn | Ack | Fin | Rst | Psh
+
+type t = {
+  id : int;
+  key : Flow.key;
+  flags : tcp_flag list;
+  seq : int;
+  payload : string;
+  wire_size : int;
+  sent_at : float;
+  mutable do_not_buffer : bool;
+  mutable do_not_drop : bool;
+}
+
+let header_size = 54
+
+let create ~id ~key ?(flags = []) ?(seq = 0) ?(payload = "") ?wire_size
+    ~sent_at () =
+  let wire_size =
+    match wire_size with
+    | Some s -> s
+    | None -> header_size + String.length payload
+  in
+  {
+    id;
+    key;
+    flags;
+    seq;
+    payload;
+    wire_size;
+    sent_at;
+    do_not_buffer = false;
+    do_not_drop = false;
+  }
+
+let has_flag t f = List.mem f t.flags
+let is_syn t = has_flag t Syn && not (has_flag t Ack)
+
+let flag_to_string = function
+  | Syn -> "S"
+  | Ack -> "A"
+  | Fin -> "F"
+  | Rst -> "R"
+  | Psh -> "P"
+
+let pp_flags ppf flags =
+  List.iter (fun f -> Format.pp_print_string ppf (flag_to_string f)) flags
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %a [%a] seq=%d %dB" t.id Flow.pp t.key pp_flags
+    t.flags t.seq t.wire_size

@@ -1,0 +1,40 @@
+(** Packets.
+
+    A packet is immutable except for the two control flags the OpenNF
+    controller sets when re-injecting packets ("do-not-buffer" for
+    order-preserving moves, "do-not-drop" for share). Identity is the
+    [id]: relayed copies keep the id of the original packet, which is how
+    the audit log establishes exactly-once processing. *)
+
+type tcp_flag = Syn | Ack | Fin | Rst | Psh
+
+type t = {
+  id : int;  (** Unique per generated packet; stable across relays. *)
+  key : Flow.key;
+  flags : tcp_flag list;
+  seq : int;  (** Position of this packet within its flow (0-based). *)
+  payload : string;  (** Application bytes carried (may be [""]). *)
+  wire_size : int;  (** Bytes on the wire (headers + payload). *)
+  sent_at : float;  (** Virtual time the packet entered the network. *)
+  mutable do_not_buffer : bool;
+  mutable do_not_drop : bool;
+}
+
+val create :
+  id:int ->
+  key:Flow.key ->
+  ?flags:tcp_flag list ->
+  ?seq:int ->
+  ?payload:string ->
+  ?wire_size:int ->
+  sent_at:float ->
+  unit ->
+  t
+(** [wire_size] defaults to [54 + String.length payload]. *)
+
+val has_flag : t -> tcp_flag -> bool
+val is_syn : t -> bool
+(** SYN without ACK (a connection-opening packet). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_flags : Format.formatter -> tcp_flag list -> unit

@@ -1,0 +1,111 @@
+module Engine = Opennf_sim.Engine
+
+type to_switch =
+  | Install of {
+      cookie : int;
+      priority : int;
+      filters : Filter.t list;
+      actions : Flowtable.action list;
+    }
+  | Remove of { cookie : int }
+  | Packet_out of { port : string; packet : Packet.t }
+  | Barrier of { id : int }
+
+type from_switch =
+  | Packet_in of { packet : Packet.t; cookie : int }
+  | Barrier_reply of { id : int }
+
+type t = {
+  engine : Engine.t;
+  audit : Audit.t;
+  name : string;
+  flow_mod_delay : float;
+  packet_out_rate : float;
+  table : Flowtable.t;
+  ports : (string, Packet.t Channel.t) Hashtbl.t;
+  mutable to_controller : from_switch Channel.t option;
+  mutable mods_applied_by : float;
+      (** Latest activation time among received flow-mods. *)
+  mutable packet_out_free_at : float;
+      (** Next instant the packet-out path is idle. *)
+  mutable packet_out_backlog : int;
+  mutable table_misses : int;
+}
+
+let create engine audit ~name ?(flow_mod_delay = 0.010)
+    ?(packet_out_rate = 1.0e9) () =
+  {
+    engine;
+    audit;
+    name;
+    flow_mod_delay;
+    packet_out_rate;
+    table = Flowtable.create ();
+    ports = Hashtbl.create 8;
+    to_controller = None;
+    mods_applied_by = 0.0;
+    packet_out_free_at = 0.0;
+    packet_out_backlog = 0;
+    table_misses = 0;
+  }
+
+let attach_port t ~name chan = Hashtbl.replace t.ports name chan
+let set_controller t chan = t.to_controller <- Some chan
+
+let send_to_controller t msg =
+  match t.to_controller with
+  | Some chan -> Channel.send chan ~size:128 msg
+  | None -> ()
+
+let forward t (p : Packet.t) port =
+  match Hashtbl.find_opt t.ports port with
+  | None -> invalid_arg (Printf.sprintf "Switch %s: no port %s" t.name port)
+  | Some chan ->
+    Audit.log_forward t.audit p ~dst:port;
+    Channel.send chan ~size:p.Packet.wire_size p
+
+let apply_actions t p cookie actions =
+  List.iter
+    (fun action ->
+      match (action : Flowtable.action) with
+      | Forward port -> forward t p port
+      | To_controller -> send_to_controller t (Packet_in { packet = p; cookie }))
+    actions
+
+let inject t p =
+  Audit.log_switch_arrival t.audit p;
+  match Flowtable.lookup t.table p with
+  | None -> t.table_misses <- t.table_misses + 1
+  | Some rule -> apply_actions t p rule.Flowtable.cookie rule.Flowtable.actions
+
+let control t msg =
+  let now = Engine.now t.engine in
+  match msg with
+  | Install { cookie; priority; filters; actions } ->
+    let apply_at = now +. t.flow_mod_delay in
+    t.mods_applied_by <- Float.max t.mods_applied_by apply_at;
+    Engine.schedule_at t.engine apply_at (fun () ->
+        Flowtable.install t.table ~cookie ~priority ~filters ~actions)
+  | Remove { cookie } ->
+    let apply_at = now +. t.flow_mod_delay in
+    t.mods_applied_by <- Float.max t.mods_applied_by apply_at;
+    Engine.schedule_at t.engine apply_at (fun () ->
+        Flowtable.remove t.table ~cookie)
+  | Packet_out { port; packet } ->
+    let start = Float.max now t.packet_out_free_at in
+    t.packet_out_free_at <- start +. (1.0 /. t.packet_out_rate);
+    t.packet_out_backlog <- t.packet_out_backlog + 1;
+    Engine.schedule_at t.engine t.packet_out_free_at (fun () ->
+        t.packet_out_backlog <- t.packet_out_backlog - 1;
+        forward t packet port)
+  | Barrier { id } ->
+    (* Reply once every earlier flow-mod is active. Control-channel
+       serialization (which makes a flow-mod queue behind a packet-out
+       flush) is modeled on the controller->switch channel itself. *)
+    let reply_at = Float.max now t.mods_applied_by in
+    Engine.schedule_at t.engine reply_at (fun () ->
+        send_to_controller t (Barrier_reply { id }))
+
+let table t = t.table
+let table_misses t = t.table_misses
+let packet_out_backlog t = t.packet_out_backlog

@@ -1,0 +1,1 @@
+lib/nfs/dummy.ml: Char Chunk Filter Flow List Opennf_net Opennf_sb Opennf_state Opennf_util Packet Store String

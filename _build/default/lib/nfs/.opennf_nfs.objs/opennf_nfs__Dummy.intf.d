@@ -1,0 +1,1 @@
+lib/nfs/dummy.mli: Flow Opennf_net Opennf_sb

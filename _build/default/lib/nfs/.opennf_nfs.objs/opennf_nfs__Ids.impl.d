@@ -1,0 +1,1 @@
+lib/nfs/ids.ml: Chunk Filter Flow Format Hashtbl Int Int64 Ipaddr List Opennf_net Opennf_sb Opennf_state Opennf_util Option Packet Printf Set Store String

@@ -1,0 +1,1 @@
+lib/nfs/ids.mli: Flow Format Ipaddr Opennf_net Opennf_sb

@@ -1,0 +1,1 @@
+lib/nfs/nat.ml: Chunk Filter Flow Ipaddr List Opennf_net Opennf_sb Opennf_state Opennf_util Option Packet Store

@@ -1,0 +1,1 @@
+lib/nfs/nat.mli: Flow Ipaddr Opennf_net Opennf_sb

@@ -1,0 +1,1 @@
+lib/nfs/prads.ml: Chunk Filter Float Flow Int Ipaddr List Map Opennf_net Opennf_sb Opennf_state Opennf_util Option Packet Printf Store

@@ -1,0 +1,1 @@
+lib/nfs/prads.mli: Ipaddr Opennf_net Opennf_sb

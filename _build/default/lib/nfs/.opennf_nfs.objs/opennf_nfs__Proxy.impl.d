@@ -1,0 +1,1 @@
+lib/nfs/proxy.ml: Chunk Filter Flow Int64 Ipaddr List Opennf_net Opennf_sb Opennf_state Opennf_util Option Packet Set Store String

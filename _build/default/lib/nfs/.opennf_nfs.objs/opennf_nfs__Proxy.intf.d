@@ -1,0 +1,1 @@
+lib/nfs/proxy.mli: Opennf_sb

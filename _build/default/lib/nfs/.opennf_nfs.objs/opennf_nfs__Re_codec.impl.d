@@ -1,0 +1,1 @@
+lib/nfs/re_codec.ml: Chunk Filter Hashtbl Int64 List Opennf_net Opennf_sb Opennf_state Opennf_util Packet Printf String

@@ -1,0 +1,1 @@
+lib/nfs/re_codec.mli: Opennf_sb

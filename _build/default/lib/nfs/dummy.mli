@@ -1,0 +1,21 @@
+(** Dummy NF for the controller-scalability experiment (§8.3).
+
+    Replays canned state: every flow it has seen exports a fixed-size
+    chunk (the paper uses 202-byte chunks derived from PRADS traces),
+    imports are consumed without interpretation, and processing is
+    nearly free. This isolates controller performance from NF costs. *)
+
+open Opennf_net
+
+type t
+
+val create : ?chunk_bytes:int -> unit -> t
+(** Default [chunk_bytes] = 202. *)
+
+val impl : t -> Opennf_sb.Nf_api.impl
+
+val seed_flows : t -> Flow.key list -> unit
+(** Pre-populate per-flow state without replaying traffic. *)
+
+val flow_count : t -> int
+val imported_count : t -> int

@@ -1,0 +1,131 @@
+module Bytes_io = Opennf_util.Bytes_io
+open Opennf_net
+open Opennf_state
+
+type tcp_state = New | Established | Fin_wait | Closed
+
+type entry = {
+  key : Flow.key;
+  mutable state : tcp_state;
+  translated_port : int;
+  mutable pkts : int;
+}
+
+type t = {
+  nat_ip : Ipaddr.t;
+  table : entry Store.Perflow.t;
+  mutable next_port : int;
+  mutable invalid : int;
+}
+
+let create ?(nat_ip = Ipaddr.v 192 0 2 1) ?(port_base = 20000) () =
+  { nat_ip; table = Store.Perflow.create (); next_port = port_base; invalid = 0 }
+
+let advance_state e (p : Packet.t) =
+  e.pkts <- e.pkts + 1;
+  if Packet.has_flag p Rst then e.state <- Closed
+  else
+    match e.state with
+    | New -> if Packet.has_flag p Ack then e.state <- Established
+    | Established -> if Packet.has_flag p Fin then e.state <- Fin_wait
+    | Fin_wait -> if Packet.has_flag p Ack then e.state <- Closed
+    | Closed -> ()
+
+let process_packet t (p : Packet.t) =
+  match Store.Perflow.find t.table p.key with
+  | Some e -> advance_state e p
+  | None ->
+    if Packet.is_syn p then begin
+      let e =
+        {
+          key = Flow.canonical p.key;
+          state = New;
+          translated_port = t.next_port;
+          pkts = 1;
+        }
+      in
+      t.next_port <- t.next_port + 1;
+      Store.Perflow.set t.table p.key e
+    end
+    else t.invalid <- t.invalid + 1
+
+(* --- serialization ------------------------------------------------------ *)
+
+let entry_chunk (e : entry) =
+  Chunk.encode ~kind:"nat.conntrack" (fun w ->
+      let open Bytes_io.Writer in
+      int w (Ipaddr.to_int e.key.Flow.src_ip);
+      int w (Ipaddr.to_int e.key.Flow.dst_ip);
+      u8 w (match e.key.Flow.proto with Flow.Tcp -> 0 | Udp -> 1 | Icmp -> 2);
+      u16 w e.key.Flow.src_port;
+      u16 w e.key.Flow.dst_port;
+      u8 w
+        (match e.state with
+        | New -> 0
+        | Established -> 1
+        | Fin_wait -> 2
+        | Closed -> 3);
+      u16 w e.translated_port;
+      int w e.pkts)
+
+let entry_of_chunk chunk =
+  let r = Chunk.reader chunk in
+  let open Bytes_io.Reader in
+  let src = Ipaddr.of_int (int r) in
+  let dst = Ipaddr.of_int (int r) in
+  let proto = match u8 r with 0 -> Flow.Tcp | 1 -> Flow.Udp | _ -> Flow.Icmp in
+  let sport = u16 r in
+  let dport = u16 r in
+  let key = Flow.make ~src ~dst ~proto ~sport ~dport () in
+  let state =
+    match u8 r with
+    | 0 -> New
+    | 1 -> Established
+    | 2 -> Fin_wait
+    | _ -> Closed
+  in
+  let translated_port = u16 r in
+  let pkts = int r in
+  { key; state; translated_port; pkts }
+
+(* --- southbound implementation ------------------------------------------ *)
+
+let impl t =
+  {
+    Opennf_sb.Nf_api.kind = "iptables";
+    process_packet = process_packet t;
+    list_perflow =
+      (fun filter ->
+        List.map (fun (k, _) -> Filter.of_key k)
+          (Store.Perflow.matching t.table filter));
+    export_perflow =
+      (fun flowid ->
+        match Filter.exact_key flowid with
+        | None -> None
+        | Some key -> Option.map entry_chunk (Store.Perflow.find t.table key));
+    import_perflow =
+      (fun _flowid chunk ->
+        let e = entry_of_chunk chunk in
+        Store.Perflow.set t.table e.key e);
+    delete_perflow =
+      (fun flowid ->
+        match Filter.exact_key flowid with
+        | None -> ()
+        | Some key -> Store.Perflow.remove t.table key);
+    (* iptables has no multi- or all-flows state (§7). *)
+    list_multiflow = (fun _ -> []);
+    export_multiflow = (fun _ -> None);
+    import_multiflow = (fun _ _ -> ());
+    delete_multiflow = (fun _ -> ());
+    export_allflows = (fun () -> []);
+    import_allflows = (fun _ -> ());
+  }
+
+(* --- inspection ----------------------------------------------------------- *)
+
+let entry_count t = Store.Perflow.size t.table
+let invalid_count t = t.invalid
+let state_of t key = Option.map (fun e -> e.state) (Store.Perflow.find t.table key)
+
+let translation_of t key =
+  Option.map (fun e -> e.translated_port) (Store.Perflow.find t.table key)

@@ -1,0 +1,26 @@
+(** An iptables/conntrack-like NAT and stateful firewall.
+
+    Tracks the 5-tuple, TCP state and the allocated translation port for
+    every active flow (per-flow state only — like iptables, it has no
+    multi- or all-flows state, §7). A non-SYN packet for an unknown flow
+    is invalid and dropped, which is why moving conntrack entries
+    alongside reroutes matters. *)
+
+open Opennf_net
+
+type tcp_state = New | Established | Fin_wait | Closed
+
+type t
+
+val create : ?nat_ip:Ipaddr.t -> ?port_base:int -> unit -> t
+val impl : t -> Opennf_sb.Nf_api.impl
+
+(** {1 Inspection} *)
+
+val entry_count : t -> int
+val invalid_count : t -> int
+(** Packets rejected for lacking a conntrack entry. *)
+
+val state_of : t -> Flow.key -> tcp_state option
+val translation_of : t -> Flow.key -> int option
+(** The external port allocated to a flow. *)

@@ -1,0 +1,268 @@
+module Bytes_io = Opennf_util.Bytes_io
+open Opennf_net
+open Opennf_state
+
+type conn = {
+  key : Flow.key;
+  mutable first_seen : float;
+  mutable last_seen : float;
+  mutable pkts : int;
+  mutable bytes : int;
+}
+
+module Service_map = Map.Make (Int)
+
+type asset = {
+  ip : Ipaddr.t;
+  mutable os_guess : string;
+  mutable services : string Service_map.t;  (* port -> service *)
+  mutable a_first_seen : float;
+  mutable a_last_seen : float;
+}
+
+type globals = { mutable g_pkts : int; mutable g_bytes : int; mutable g_flows : int }
+
+type t = {
+  conns : conn Store.Perflow.t;
+  assets : asset Store.Per_host.t;
+  globals : globals;
+  mutable now : float;  (* Advanced by packet timestamps. *)
+}
+
+let create () =
+  {
+    conns = Store.Perflow.create ();
+    assets = Store.Per_host.create ();
+    globals = { g_pkts = 0; g_bytes = 0; g_flows = 0 };
+    now = 0.0;
+  }
+
+let service_of_port = function
+  | 80 -> "http"
+  | 443 -> "https"
+  | 22 -> "ssh"
+  | 53 -> "dns"
+  | 25 -> "smtp"
+  | p when p < 1024 -> "well-known"
+  | _ -> "ephemeral"
+
+(* A stand-in for passive OS fingerprinting: deterministic per host. *)
+let os_of_host ip =
+  match Ipaddr.to_int ip mod 4 with
+  | 0 -> "linux"
+  | 1 -> "windows"
+  | 2 -> "macos"
+  | _ -> "bsd"
+
+let touch_asset t ip =
+  match Store.Per_host.find t.assets ip with
+  | Some a ->
+    a.a_last_seen <- t.now;
+    a
+  | None ->
+    let a =
+      {
+        ip;
+        os_guess = os_of_host ip;
+        services = Service_map.empty;
+        a_first_seen = t.now;
+        a_last_seen = t.now;
+      }
+    in
+    Store.Per_host.set t.assets ip a;
+    a
+
+let process_packet t (p : Packet.t) =
+  t.now <- Float.max t.now p.sent_at;
+  t.globals.g_pkts <- t.globals.g_pkts + 1;
+  t.globals.g_bytes <- t.globals.g_bytes + p.wire_size;
+  (match Store.Perflow.find t.conns p.key with
+  | Some c ->
+    c.last_seen <- t.now;
+    c.pkts <- c.pkts + 1;
+    c.bytes <- c.bytes + p.wire_size
+  | None ->
+    t.globals.g_flows <- t.globals.g_flows + 1;
+    Store.Perflow.set t.conns p.key
+      {
+        key = Flow.canonical p.key;
+        first_seen = t.now;
+        last_seen = t.now;
+        pkts = 1;
+        bytes = p.wire_size;
+      });
+  let src_asset = touch_asset t p.key.Flow.src_ip in
+  ignore (touch_asset t p.key.Flow.dst_ip);
+  (* A reply from a server port reveals a service on the source host. *)
+  if Packet.has_flag p Ack && p.key.Flow.src_port < 10000 then
+    src_asset.services <-
+      Service_map.add p.key.Flow.src_port
+        (service_of_port p.key.Flow.src_port)
+        src_asset.services
+
+(* --- serialization ----------------------------------------------------- *)
+
+(* The textual fingerprint hints PRADS records per connection; they make
+   real PRADS state a couple hundred bytes per flow and are what makes
+   compression worthwhile (§8.3). *)
+let conn_fingerprint (c : conn) =
+  Printf.sprintf
+    "match:tcp-syn[%s];os:%s;uptime:unknown;link:ethernet;distance:%d;service:%s"
+    (Flow.proto_to_string c.key.Flow.proto)
+    (os_of_host c.key.Flow.src_ip)
+    (Ipaddr.to_int c.key.Flow.src_ip mod 30)
+    (service_of_port c.key.Flow.dst_port)
+
+let conn_chunk (c : conn) =
+  Chunk.encode ~kind:"prads.conn" (fun w ->
+      let open Bytes_io.Writer in
+      int w (Ipaddr.to_int c.key.Flow.src_ip);
+      int w (Ipaddr.to_int c.key.Flow.dst_ip);
+      u8 w (match c.key.Flow.proto with Flow.Tcp -> 0 | Udp -> 1 | Icmp -> 2);
+      u16 w c.key.Flow.src_port;
+      u16 w c.key.Flow.dst_port;
+      f64 w c.first_seen;
+      f64 w c.last_seen;
+      int w c.pkts;
+      int w c.bytes;
+      string w (conn_fingerprint c))
+
+let conn_of_chunk chunk =
+  let r = Chunk.reader chunk in
+  let open Bytes_io.Reader in
+  let src = Ipaddr.of_int (int r) in
+  let dst = Ipaddr.of_int (int r) in
+  let proto =
+    match u8 r with
+    | 0 -> Flow.Tcp
+    | 1 -> Flow.Udp
+    | _ -> Flow.Icmp
+  in
+  let sport = u16 r in
+  let dport = u16 r in
+  let key = Flow.make ~src ~dst ~proto ~sport ~dport () in
+  let first_seen = f64 r in
+  let last_seen = f64 r in
+  let pkts = int r in
+  let bytes = int r in
+  let _fingerprint = string r in
+  { key; first_seen; last_seen; pkts; bytes }
+
+let asset_chunk (a : asset) =
+  Chunk.encode ~kind:"prads.asset" (fun w ->
+      let open Bytes_io.Writer in
+      int w (Ipaddr.to_int a.ip);
+      string w a.os_guess;
+      list w
+        (fun (port, svc) ->
+          u16 w port;
+          string w svc)
+        (Service_map.bindings a.services);
+      f64 w a.a_first_seen;
+      f64 w a.a_last_seen)
+
+let asset_of_chunk chunk =
+  let r = Chunk.reader chunk in
+  let open Bytes_io.Reader in
+  let ip = Ipaddr.of_int (int r) in
+  let os_guess = string r in
+  let services =
+    List.fold_left
+      (fun m (port, svc) -> Service_map.add port svc m)
+      Service_map.empty
+      (list r (fun () ->
+           let port = u16 r in
+           let svc = string r in
+           (port, svc)))
+  in
+  let a_first_seen = f64 r in
+  let a_last_seen = f64 r in
+  { ip; os_guess; services; a_first_seen; a_last_seen }
+
+(* --- southbound implementation ------------------------------------------ *)
+
+let impl t =
+  {
+    Opennf_sb.Nf_api.kind = "prads";
+    process_packet = process_packet t;
+    list_perflow =
+      (fun filter ->
+        List.map (fun (k, _) -> Filter.of_key k)
+          (Store.Perflow.matching t.conns filter));
+    export_perflow =
+      (fun flowid ->
+        match Filter.exact_key flowid with
+        | None -> None
+        | Some key -> Option.map conn_chunk (Store.Perflow.find t.conns key));
+    import_perflow =
+      (fun _flowid chunk ->
+        let c = conn_of_chunk chunk in
+        Store.Perflow.set t.conns c.key c);
+    delete_perflow =
+      (fun flowid ->
+        match Filter.exact_key flowid with
+        | None -> ()
+        | Some key -> Store.Perflow.remove t.conns key);
+    list_multiflow =
+      (fun filter ->
+        List.map (fun (ip, _) -> Filter.of_src_host ip)
+          (Store.Per_host.matching t.assets filter));
+    export_multiflow =
+      (fun flowid ->
+        match Filter.exact_src_host flowid with
+        | None -> None
+        | Some ip -> Option.map asset_chunk (Store.Per_host.find t.assets ip));
+    import_multiflow =
+      (fun _flowid chunk ->
+        let incoming = asset_of_chunk chunk in
+        match Store.Per_host.find t.assets incoming.ip with
+        | None -> Store.Per_host.set t.assets incoming.ip incoming
+        | Some existing ->
+          (* Merge: union services, earliest first-seen, latest last-seen. *)
+          existing.services <-
+            Service_map.union (fun _ a _ -> Some a) existing.services
+              incoming.services;
+          existing.a_first_seen <-
+            Float.min existing.a_first_seen incoming.a_first_seen;
+          existing.a_last_seen <-
+            Float.max existing.a_last_seen incoming.a_last_seen);
+    delete_multiflow =
+      (fun flowid ->
+        match Filter.exact_src_host flowid with
+        | None -> ()
+        | Some ip -> Store.Per_host.remove t.assets ip);
+    export_allflows =
+      (fun () ->
+        [
+          Chunk.encode ~kind:"prads.stats" (fun w ->
+              let open Bytes_io.Writer in
+              int w t.globals.g_pkts;
+              int w t.globals.g_bytes;
+              int w t.globals.g_flows);
+        ]);
+    import_allflows =
+      (fun chunks ->
+        List.iter
+          (fun chunk ->
+            let r = Chunk.reader chunk in
+            let open Bytes_io.Reader in
+            t.globals.g_pkts <- t.globals.g_pkts + int r;
+            t.globals.g_bytes <- t.globals.g_bytes + int r;
+            t.globals.g_flows <- t.globals.g_flows + int r)
+          chunks);
+  }
+
+(* --- inspection ---------------------------------------------------------- *)
+
+let connection_count t = Store.Perflow.size t.conns
+let asset_count t = Store.Per_host.size t.assets
+
+let services_of t ip =
+  match Store.Per_host.find t.assets ip with
+  | None -> []
+  | Some a -> Service_map.bindings a.services
+
+let stats t = (t.globals.g_pkts, t.globals.g_bytes, t.globals.g_flows)
+
+let last_seen t ip =
+  Option.map (fun a -> a.a_last_seen) (Store.Per_host.find t.assets ip)

@@ -1,0 +1,30 @@
+(** A PRADS-like passive asset monitor.
+
+    Identifies active hosts and the services they run, purely from
+    observed traffic. State taxonomy (§7 of the paper):
+
+    - {b per-flow}: connection metadata (first/last seen, packets,
+      bytes);
+    - {b multi-flow}: one asset record per host (OS guess, service set),
+      merged on import when both instances know the host;
+    - {b all-flows}: a global statistics structure, merged by summing. *)
+
+open Opennf_net
+
+type t
+
+val create : unit -> t
+val impl : t -> Opennf_sb.Nf_api.impl
+
+(** {1 Inspection} *)
+
+val connection_count : t -> int
+val asset_count : t -> int
+
+val services_of : t -> Ipaddr.t -> (int * string) list
+(** [(port, service)] pairs recorded for a host, sorted by port. *)
+
+val stats : t -> int * int * int
+(** (packets, bytes, flows) from the all-flows structure. *)
+
+val last_seen : t -> Ipaddr.t -> float option

@@ -1,0 +1,1 @@
+lib/sb/costs.mli:

@@ -1,0 +1,1 @@
+lib/sb/nf_api.ml: Chunk Filter List Opennf_net Opennf_state Option Packet

@@ -1,0 +1,1 @@
+lib/sb/nf_api.mli: Chunk Filter Opennf_net Opennf_state Packet

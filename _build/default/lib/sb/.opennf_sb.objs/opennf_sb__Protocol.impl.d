@@ -1,0 +1,1 @@
+lib/sb/protocol.ml: Chunk Filter Format List Opennf_net Opennf_state Packet

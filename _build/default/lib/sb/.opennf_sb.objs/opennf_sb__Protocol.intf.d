@@ -1,0 +1,1 @@
+lib/sb/protocol.mli: Chunk Filter Format Opennf_net Opennf_state Packet

@@ -1,0 +1,1 @@
+lib/sb/runtime.ml: Audit Channel Chunk Costs Filter List Nf_api Opennf_net Opennf_sim Opennf_state Opennf_util Packet Protocol Queue

@@ -1,0 +1,1 @@
+lib/sb/runtime.mli: Audit Channel Costs Nf_api Opennf_net Opennf_sim Packet Protocol

@@ -1,0 +1,28 @@
+(** NF cost model.
+
+    Virtual-time costs charged by the NF runtime. The per-NF presets are
+    calibrated so simulated operations land near the paper's testbed
+    numbers (§8.1–8.2): e.g. PRADS exports 500 chunks in ≈89 ms and
+    imports them ≈2× faster; Bro chunks are the most expensive to
+    (de)serialize; per-packet processing slows by <6% during export. *)
+
+type t = {
+  proc_time : float;  (** Seconds of NF CPU per processed packet. *)
+  serialize_chunk : float;  (** Per-chunk serialization base cost. *)
+  serialize_byte : float;  (** Additional cost per serialized byte. *)
+  deserialize_chunk : float;
+  deserialize_byte : float;
+  export_penalty : float;
+      (** Fractional per-packet slowdown while an export/import runs
+          (contention on the state mutexes, §8.2.1). *)
+}
+
+val bro : t
+val prads : t
+val squid : t
+val iptables : t
+val dummy : t
+(** Negligible costs; used by the §8.3 controller-scalability dummies. *)
+
+val serialize_time : t -> bytes:int -> float
+val deserialize_time : t -> bytes:int -> float

@@ -1,0 +1,58 @@
+open Opennf_net
+open Opennf_state
+
+type event_action = Process | Buffer | Drop
+
+let pp_event_action ppf a =
+  Format.pp_print_string ppf
+    (match a with Process -> "process" | Buffer -> "buffer" | Drop -> "drop")
+
+type request =
+  | Enable_events of { filter : Filter.t; action : event_action }
+  | Disable_events of { filter : Filter.t }
+  | Get_perflow of {
+      req : int;
+      filter : Filter.t;
+      stream : bool;
+      late_lock : bool;
+      compress : bool;
+    }
+  | Put_perflow of { req : int; chunks : (Filter.t * Chunk.t) list }
+  | Del_perflow of { req : int; flowids : Filter.t list }
+  | Get_multiflow of { req : int; filter : Filter.t; stream : bool; compress : bool }
+  | Put_multiflow of { req : int; chunks : (Filter.t * Chunk.t) list }
+  | Del_multiflow of { req : int; flowids : Filter.t list }
+  | Get_allflows of { req : int }
+  | Put_allflows of { req : int; chunks : Chunk.t list }
+
+type reply =
+  | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }
+  | Done of { req : int; chunks : (Filter.t * Chunk.t) list }
+  | Ack of { req : int }
+  | Event of {
+      nf : string;
+      packet : Packet.t;
+      disposition : event_action;
+    }
+
+let message_overhead = 128
+
+let chunks_size chunks =
+  List.fold_left (fun acc (_, c) -> acc + Chunk.size c + 32) 0 chunks
+
+let request_size = function
+  | Enable_events _ | Disable_events _ -> message_overhead
+  | Get_perflow _ | Get_multiflow _ | Get_allflows _ -> message_overhead
+  | Put_perflow { chunks; _ } | Put_multiflow { chunks; _ } ->
+    message_overhead + chunks_size chunks
+  | Del_perflow { flowids; _ } | Del_multiflow { flowids; _ } ->
+    message_overhead + (32 * List.length flowids)
+  | Put_allflows { chunks; _ } ->
+    message_overhead
+    + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
+
+let reply_size = function
+  | Piece { chunk; _ } -> message_overhead + Chunk.size chunk + 32
+  | Done { chunks; _ } -> message_overhead + chunks_size chunks
+  | Ack _ -> message_overhead
+  | Event { packet; _ } -> message_overhead + packet.Packet.wire_size

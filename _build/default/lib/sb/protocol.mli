@@ -1,0 +1,57 @@
+(** Controller ⇄ NF wire protocol (the southbound API, §4.2–§4.3).
+
+    The paper exchanges JSON over TCP; here messages travel over
+    simulated FIFO channels. [Get_*] with [stream = true] is the
+    parallelizing optimization (§5.1.3): the NF emits one [Piece] per
+    chunk as it is serialized instead of a single bulk reply, letting
+    the controller pipeline the matching put. [late_lock = true] is the
+    late-locking half of the early-release optimization: the NF enables
+    a drop-events filter for each flow just before serializing that
+    flow's chunk, instead of requiring a prior [Enable_events] on the
+    whole move filter. *)
+
+open Opennf_net
+open Opennf_state
+
+type event_action = Process | Buffer | Drop
+
+val pp_event_action : Format.formatter -> event_action -> unit
+
+type request =
+  | Enable_events of { filter : Filter.t; action : event_action }
+  | Disable_events of { filter : Filter.t }
+  | Get_perflow of {
+      req : int;
+      filter : Filter.t;
+      stream : bool;
+      late_lock : bool;
+      compress : bool;
+    }
+  | Put_perflow of { req : int; chunks : (Filter.t * Chunk.t) list }
+  | Del_perflow of { req : int; flowids : Filter.t list }
+  | Get_multiflow of { req : int; filter : Filter.t; stream : bool; compress : bool }
+  | Put_multiflow of { req : int; chunks : (Filter.t * Chunk.t) list }
+  | Del_multiflow of { req : int; flowids : Filter.t list }
+  | Get_allflows of { req : int }
+  | Put_allflows of { req : int; chunks : Chunk.t list }
+
+type reply =
+  | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }
+      (** One streamed chunk of an in-progress [Get_*]. *)
+  | Done of { req : int; chunks : (Filter.t * Chunk.t) list }
+      (** [Get_*] finished; carries the chunks when not streaming
+          (all-flows chunks use [Filter.any] as flowid). *)
+  | Ack of { req : int }  (** A [Put_*] or [Del_*] completed. *)
+  | Event of {
+      nf : string;
+      packet : Packet.t;
+      disposition : event_action;
+          (** What the NF did with the packet (§4.3). *)
+    }
+
+val message_overhead : int
+(** Fixed wire size (bytes) charged per protocol message, matching the
+    paper's ≈128-byte JSON messages. *)
+
+val request_size : request -> int
+val reply_size : reply -> int

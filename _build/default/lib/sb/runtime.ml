@@ -1,0 +1,338 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+open Opennf_net
+open Opennf_state
+
+type event_filter = {
+  filter : Filter.t;
+  action : Protocol.event_action;
+  parent : Filter.t option;
+      (** Set for per-flow filters installed by late locking; removed
+          when the parent filter is disabled. *)
+  buffer : Packet.t Queue.t;
+}
+
+type t = {
+  engine : Engine.t;
+  audit : Audit.t;
+  name : string;
+  impl : Nf_api.impl;
+  costs : Costs.t;
+  (* Packet path: two queues consumed by one worker; [release_q] (packets
+     freed from event buffers) has priority so released packets are
+     processed before later direct arrivals. *)
+  input_q : Packet.t Queue.t;
+  release_q : Packet.t Queue.t;
+  mutable worker_wakeup : (unit -> unit) option;
+  (* Southbound state operations, FIFO. *)
+  work : Protocol.request Proc.Mailbox.t;
+  mutable to_ctrl : Protocol.reply Channel.t option;
+  mutable event_filters : event_filter list;  (** Newest first. *)
+  mutable tombstones : Filter.t list;
+  mutable busy_ops : int;
+  mutable in_service : unit Proc.Ivar.t option;
+      (** Filled when the packet currently on the CPU finishes; state
+          exports synchronize on it (the paper's per-connection mutex in
+          the Bro patch, §7). *)
+  mutable processed : int;
+  mutable dropped : int;
+  mutable tombstone_drops : int;
+}
+
+let name t = t.name
+let impl t = t.impl
+let costs t = t.costs
+
+let send_reply t ?size reply =
+  match t.to_ctrl with
+  | Some chan ->
+    let size =
+      match size with Some s -> s | None -> Protocol.reply_size reply
+    in
+    Channel.send chan ~size reply
+  | None -> ()
+
+let raise_event t (p : Packet.t) disposition =
+  Audit.log_evented t.audit p ~nf:t.name;
+  send_reply t (Protocol.Event { nf = t.name; packet = p; disposition })
+
+let event_filter_matches ef (p : Packet.t) =
+  Filter.matches_flow ef.filter p.key
+  &&
+  match ef.filter.Filter.tcp_flag with
+  | None -> true
+  | Some f -> Packet.has_flag p f
+
+let find_event_filter t p =
+  List.find_opt (fun ef -> event_filter_matches ef p) t.event_filters
+
+let matches_tombstone t (p : Packet.t) =
+  List.exists (fun f -> Filter.matches_flow f p.key) t.tombstones
+
+let clear_tombstones_for t flowid =
+  t.tombstones <-
+    List.filter (fun f -> not (Filter.accepts_flowid f flowid)) t.tombstones
+
+(* Process one packet on the NF CPU. *)
+let process t (p : Packet.t) =
+  let done_ivar = Proc.Ivar.create t.engine in
+  t.in_service <- Some done_ivar;
+  let penalty = if t.busy_ops > 0 then 1.0 +. t.costs.Costs.export_penalty else 1.0 in
+  Proc.sleep (t.costs.Costs.proc_time *. penalty);
+  t.impl.Nf_api.process_packet p;
+  t.processed <- t.processed + 1;
+  Audit.log_process t.audit p ~nf:t.name;
+  t.in_service <- None;
+  Proc.Ivar.fill done_ivar ()
+
+(* Wait for the packet currently being serviced (if any) to finish, so a
+   state capture cannot miss an update that is already half-applied. *)
+let wait_for_service t =
+  match t.in_service with
+  | Some done_ivar -> Proc.Ivar.read done_ivar
+  | None -> ()
+
+let dispose t (p : Packet.t) =
+  match find_event_filter t p with
+  | Some ef -> (
+    match ef.action with
+    | Protocol.Drop when not p.do_not_drop ->
+      t.dropped <- t.dropped + 1;
+      Audit.log_drop t.audit p ~nf:t.name;
+      raise_event t p Protocol.Drop
+    | Protocol.Buffer when not p.do_not_buffer ->
+      Queue.push p ef.buffer;
+      Audit.log_buffered t.audit p ~nf:t.name;
+      raise_event t p Protocol.Buffer
+    | Protocol.Process | Protocol.Drop | Protocol.Buffer ->
+      process t p;
+      raise_event t p Protocol.Process)
+  | None ->
+    if matches_tombstone t p then begin
+      t.dropped <- t.dropped + 1;
+      t.tombstone_drops <- t.tombstone_drops + 1;
+      Audit.log_drop t.audit p ~nf:t.name
+    end
+    else process t p
+
+let wake_worker t =
+  match t.worker_wakeup with
+  | Some resume ->
+    t.worker_wakeup <- None;
+    resume ()
+  | None -> ()
+
+let worker_loop t () =
+  let rec loop () =
+    if not (Queue.is_empty t.release_q) then begin
+      dispose t (Queue.pop t.release_q);
+      loop ()
+    end
+    else if not (Queue.is_empty t.input_q) then begin
+      dispose t (Queue.pop t.input_q);
+      loop ()
+    end
+    else begin
+      Proc.suspend (fun resume ->
+          assert (t.worker_wakeup = None);
+          t.worker_wakeup <- Some resume);
+      loop ()
+    end
+  in
+  loop ()
+
+let receive t p =
+  Audit.log_nf_arrival t.audit p ~nf:t.name;
+  Queue.push p t.input_q;
+  wake_worker t
+
+(* Southbound state operations, executed FIFO by a dedicated process so
+   puts pipeline behind gets without blocking enable/disable. *)
+
+let serialize_pause t chunk =
+  Proc.sleep (Costs.serialize_time t.costs ~bytes:(Chunk.size chunk))
+
+let deserialize_pause t chunk =
+  Proc.sleep (Costs.deserialize_time t.costs ~bytes:(Chunk.size chunk))
+
+let add_event_filter t ?parent filter action =
+  t.event_filters <-
+    { filter; action; parent; buffer = Queue.create () } :: t.event_filters
+
+(* With [compress], the NF->controller connection behaves like a
+   compressed socket stream (§8.3): each chunk's wire footprint is what
+   it adds to the stream given the previous chunk as dictionary, and the
+   compression work shares the serialization path's CPU. *)
+let run_get t ~req ~filter ~stream ~late_lock ~compress ~list ~export =
+  wait_for_service t;
+  t.busy_ops <- t.busy_ops + 1;
+  let flowids = list filter in
+  let collected = ref [] in
+  let dict = ref "" in
+  List.iter
+    (fun flowid ->
+      if late_lock then add_event_filter t ~parent:filter flowid Protocol.Drop;
+      match export flowid with
+      | None -> ()
+      | Some chunk ->
+        serialize_pause t chunk;
+        let wire_size =
+          if compress then begin
+            Proc.sleep
+              (0.2 *. Costs.serialize_time t.costs ~bytes:(Chunk.size chunk));
+            let w =
+              Opennf_util.Lz.wire_size_with_dict ~dict:!dict
+                chunk.Chunk.data
+            in
+            dict := chunk.Chunk.data;
+            (* Framing (repetitive JSON in the paper's protocol)
+               compresses ~4x in the same stream. *)
+            Some ((Protocol.message_overhead / 4) + 32 + w)
+          end
+          else None
+        in
+        if stream then
+          send_reply t ?size:wire_size (Protocol.Piece { req; flowid; chunk })
+        else collected := (flowid, chunk) :: !collected)
+    flowids;
+  t.busy_ops <- t.busy_ops - 1;
+  let done_msg = Protocol.Done { req; chunks = List.rev !collected } in
+  let done_size =
+    if compress && not stream then
+      Some
+        (Protocol.message_overhead
+        + (32 * List.length !collected)
+        + int_of_float
+            (float_of_int
+               (List.fold_left
+                  (fun acc (_, c) -> acc + Chunk.size c)
+                  0 !collected)
+            *. Opennf_util.Lz.stream_ratio
+                 (List.rev_map (fun (_, c) -> c.Chunk.data) !collected)))
+    else None
+  in
+  send_reply t ?size:done_size done_msg
+
+let run_put t ~req ~chunks ~import =
+  t.busy_ops <- t.busy_ops + 1;
+  List.iter
+    (fun (flowid, chunk) ->
+      deserialize_pause t chunk;
+      import flowid (Chunk.decompress chunk))
+    chunks;
+  t.busy_ops <- t.busy_ops - 1;
+  send_reply t (Protocol.Ack { req })
+
+let handle_op t (req : Protocol.request) =
+  match req with
+  | Protocol.Get_perflow { req; filter; stream; late_lock; compress } ->
+    run_get t ~req ~filter ~stream ~late_lock ~compress
+      ~list:t.impl.Nf_api.list_perflow ~export:t.impl.Nf_api.export_perflow
+  | Protocol.Get_multiflow { req; filter; stream; compress } ->
+    run_get t ~req ~filter ~stream ~late_lock:false ~compress
+      ~list:t.impl.Nf_api.list_multiflow ~export:t.impl.Nf_api.export_multiflow
+  | Protocol.Get_allflows { req } ->
+    wait_for_service t;
+    t.busy_ops <- t.busy_ops + 1;
+    let chunks = t.impl.Nf_api.export_allflows () in
+    List.iter (serialize_pause t) chunks;
+    t.busy_ops <- t.busy_ops - 1;
+    send_reply t
+      (Protocol.Done { req; chunks = List.map (fun c -> (Filter.any, c)) chunks })
+  | Protocol.Put_perflow { req; chunks } ->
+    run_put t ~req ~chunks ~import:(fun flowid chunk ->
+        clear_tombstones_for t flowid;
+        t.impl.Nf_api.import_perflow flowid chunk)
+  | Protocol.Put_multiflow { req; chunks } ->
+    run_put t ~req ~chunks ~import:t.impl.Nf_api.import_multiflow
+  | Protocol.Put_allflows { req; chunks } ->
+    t.busy_ops <- t.busy_ops + 1;
+    List.iter (deserialize_pause t) chunks;
+    t.impl.Nf_api.import_allflows chunks;
+    t.busy_ops <- t.busy_ops - 1;
+    send_reply t (Protocol.Ack { req })
+  | Protocol.Del_perflow { req; flowids } ->
+    (* Like exports, deletions synchronize with the packet on the CPU:
+       otherwise the in-service packet would re-create state for a flow
+       deleted underneath it. *)
+    wait_for_service t;
+    List.iter
+      (fun flowid ->
+        t.impl.Nf_api.delete_perflow flowid;
+        t.tombstones <- flowid :: t.tombstones)
+      flowids;
+    send_reply t (Protocol.Ack { req })
+  | Protocol.Del_multiflow { req; flowids } ->
+    wait_for_service t;
+    List.iter t.impl.Nf_api.delete_multiflow flowids;
+    send_reply t (Protocol.Ack { req })
+  | Protocol.Enable_events _ | Protocol.Disable_events _ ->
+    assert false (* handled inline in [control] *)
+
+let disable_events t filter =
+  let keep, drop =
+    List.partition
+      (fun ef ->
+        not
+          (Filter.equal ef.filter filter
+          || match ef.parent with
+             | Some p -> Filter.equal p filter
+             | None -> false))
+      t.event_filters
+  in
+  t.event_filters <- keep;
+  (* Release buffered packets in arrival order. *)
+  List.iter
+    (fun ef -> Queue.iter (fun p -> Queue.push p t.release_q) ef.buffer)
+    (List.rev drop);
+  wake_worker t
+
+let control t (req : Protocol.request) =
+  match req with
+  | Protocol.Enable_events { filter; action } -> add_event_filter t filter action
+  | Protocol.Disable_events { filter } -> disable_events t filter
+  | _ -> Proc.Mailbox.send t.work req
+
+let set_controller t chan = t.to_ctrl <- Some chan
+
+let create engine audit ~name ~impl ~costs () =
+  let t =
+    {
+      engine;
+      audit;
+      name;
+      impl;
+      costs;
+      input_q = Queue.create ();
+      release_q = Queue.create ();
+      worker_wakeup = None;
+      work = Proc.Mailbox.create engine;
+      to_ctrl = None;
+      event_filters = [];
+      tombstones = [];
+      busy_ops = 0;
+      in_service = None;
+      processed = 0;
+      dropped = 0;
+      tombstone_drops = 0;
+    }
+  in
+  Proc.spawn engine (worker_loop t);
+  Proc.spawn engine (fun () ->
+      let rec loop () =
+        let req = Proc.Mailbox.recv t.work in
+        handle_op t req;
+        loop ()
+      in
+      loop ());
+  t
+
+let processed_count t = t.processed
+let dropped_count t = t.dropped
+let tombstone_dropped t = t.tombstone_drops
+
+let buffered_count t =
+  List.fold_left (fun acc ef -> acc + Queue.length ef.buffer) 0 t.event_filters
+
+let queue_length t = Queue.length t.input_q + Queue.length t.release_q
+let busy t = t.busy_ops > 0

@@ -1,0 +1,63 @@
+(** NF runtime: hosts an NF implementation inside the simulation.
+
+    The runtime owns the NF's packet queue and CPU (a serial worker
+    process), executes southbound requests, generates packet-received
+    events, and maintains the event filters, per-filter packet buffers
+    and the "moved away" tombstones that make packets for relocated
+    flows drop instead of re-creating state (§5.1).
+
+    Event semantics (§4.3): when a packet matches an enabled event
+    filter, the NF raises an [Event] carrying a copy of the packet and
+    applies the filter's action — [Drop] discards it (unless the packet
+    carries "do-not-drop"), [Buffer] parks it until events are disabled
+    (unless it carries "do-not-buffer"), [Process] handles it normally.
+    For packets that are processed, the event is raised {e after}
+    processing completes, which is what lets the controller use events
+    as "state updates are done" signals (§5.1.2, §5.2.2). *)
+
+open Opennf_net
+
+type t
+
+val create :
+  Opennf_sim.Engine.t ->
+  Audit.t ->
+  name:string ->
+  impl:Nf_api.impl ->
+  costs:Costs.t ->
+  unit ->
+  t
+(** Starts the worker processes immediately. *)
+
+val name : t -> string
+val impl : t -> Nf_api.impl
+val costs : t -> Costs.t
+
+val receive : t -> Packet.t -> unit
+(** Data-plane entry point: wire this as the handler of the switch-port
+    channel feeding this NF. *)
+
+val control : t -> Protocol.request -> unit
+(** Control-plane entry point (handler of the controller→NF channel).
+    [Enable_events]/[Disable_events] take effect immediately; state
+    operations are queued and executed FIFO on the NF's CPU. *)
+
+val set_controller : t -> Protocol.reply Channel.t -> unit
+(** Channel on which replies and events are sent. *)
+
+(** {1 Introspection for tests and benches} *)
+
+val processed_count : t -> int
+val dropped_count : t -> int
+(** All intentionally dropped packets (event-drop + tombstone). *)
+
+val tombstone_dropped : t -> int
+(** Packets dropped because their flow's state was moved away (these are
+    the losses of a move without guarantees). *)
+
+val buffered_count : t -> int
+(** Packets currently parked in event buffers. *)
+
+val queue_length : t -> int
+val busy : t -> bool
+(** A state export/import is currently running. *)

@@ -1,0 +1,114 @@
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+(* Array-based binary min-heap ordered by (time, seq). *)
+module Heap = struct
+  type t = { mutable arr : event array; mutable size : int }
+
+  let dummy = { time = 0.0; seq = 0; thunk = ignore }
+  let create () = { arr = Array.make 64 dummy; size = 0 }
+
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push t ev =
+    if t.size = Array.length t.arr then begin
+      let bigger = Array.make (2 * t.size) dummy in
+      Array.blit t.arr 0 bigger 0 t.size;
+      t.arr <- bigger
+    end;
+    t.arr.(t.size) <- ev;
+    t.size <- t.size + 1;
+    (* Sift up. *)
+    let i = ref (t.size - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      before t.arr.(!i) t.arr.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = t.arr.(parent) in
+      t.arr.(parent) <- t.arr.(!i);
+      t.arr.(!i) <- tmp;
+      i := parent
+    done
+
+  let peek t = if t.size = 0 then None else Some t.arr.(0)
+
+  let pop t =
+    assert (t.size > 0);
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    t.arr.(0) <- t.arr.(t.size);
+    t.arr.(t.size) <- dummy;
+    (* Sift down. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.arr.(l) t.arr.(!smallest) then smallest := l;
+      if r < t.size && before t.arr.(r) t.arr.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = t.arr.(!smallest) in
+        t.arr.(!smallest) <- t.arr.(!i);
+        t.arr.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+type t = {
+  heap : Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+  mutable running : bool;
+  rng : Opennf_util.Rng.t;
+}
+
+let create ?(seed = 1) () =
+  {
+    heap = Heap.create ();
+    clock = 0.0;
+    next_seq = 0;
+    processed = 0;
+    running = false;
+    rng = Opennf_util.Rng.create ~seed;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t time thunk =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.clock);
+  Heap.push t.heap { time; seq = t.next_seq; thunk };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.clock +. delay) thunk
+
+let run ?(until = infinity) t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.heap with
+    | None -> continue := false
+    | Some ev when ev.time > until -> continue := false
+    | Some _ ->
+      let ev = Heap.pop t.heap in
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.thunk ()
+  done;
+  if until <> infinity && t.clock < until then t.clock <- until;
+  t.running <- false
+
+let pending t = t.heap.Heap.size
+let processed t = t.processed

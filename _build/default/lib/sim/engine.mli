@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over virtual time (seconds, as float).
+    Events scheduled for the same instant run in FIFO order of
+    scheduling, which makes every run deterministic: same seed, same
+    schedule, same results. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine whose clock is at 0.0 and whose
+    root RNG is seeded with [seed] (default 1). *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Opennf_util.Rng.t
+(** The engine's root RNG. Subsystems should [Rng.split] it. *)
+
+val schedule_at : t -> float -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when the clock reaches [time].
+    [time] must not be in the past. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] after [delay] seconds ([delay >= 0]). *)
+
+val run : ?until:float -> t -> unit
+(** Process events until the queue is empty, or the clock would pass
+    [until]. Re-entrant calls are not allowed. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val processed : t -> int
+(** Total number of events executed so far. *)

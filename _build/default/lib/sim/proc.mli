@@ -1,0 +1,59 @@
+(** Simulation processes: direct-style coroutines over the event engine.
+
+    A process is ordinary OCaml code started with [spawn] that may block
+    on virtual time ([sleep]) or on data ([Ivar.read], [Mailbox.recv]).
+    Blocking is implemented with OCaml 5 effects, so controller
+    operations read like the paper's pseudo-code — e.g. Figure 6's
+    "wait (GOT_FIRST_PKT_FROM_SW)" is an [Ivar.read].
+
+    [sleep]/[Ivar.read]/[Mailbox.recv] must be called from inside a
+    process (i.e. under [spawn]); calling them elsewhere raises
+    [Not_in_process]. *)
+
+exception Not_in_process
+
+val spawn : Engine.t -> (unit -> unit) -> unit
+(** Start a process at the current virtual time. Exceptions escaping the
+    process body are re-raised out of [Engine.run]. *)
+
+val sleep : float -> unit
+(** Suspend the calling process for the given number of virtual seconds. *)
+
+val yield : unit -> unit
+(** [yield ()] is [sleep 0.]: lets other events at this instant run. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and passes its resume
+    thunk to [register]. The process continues when the thunk is called
+    (call it at most once). This is the low-level primitive [Ivar] and
+    [Mailbox] are built from; use it for custom wait queues. *)
+
+module Ivar : sig
+  type 'a t
+  (** Write-once synchronization variable. *)
+
+  val create : Engine.t -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if already filled. Waiting readers are
+      resumed at the current virtual time (after currently queued
+      events). *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+  val read : 'a t -> 'a
+  (** Block the calling process until the ivar is filled. *)
+end
+
+module Mailbox : sig
+  type 'a t
+  (** Unbounded FIFO channel between processes. *)
+
+  val create : Engine.t -> 'a t
+  val send : 'a t -> 'a -> unit
+  (** Never blocks. *)
+
+  val recv : 'a t -> 'a
+  (** Block the calling process until a message is available. *)
+
+  val length : 'a t -> int
+end

@@ -1,0 +1,1 @@
+lib/state/chunk.ml: Filename Format Opennf_util String

@@ -1,0 +1,1 @@
+lib/state/chunk.mli: Format Opennf_util

@@ -1,0 +1,1 @@
+lib/state/scope.ml: Format List

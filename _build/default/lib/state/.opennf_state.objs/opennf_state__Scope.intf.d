@@ -1,0 +1,1 @@
+lib/state/scope.mli: Format

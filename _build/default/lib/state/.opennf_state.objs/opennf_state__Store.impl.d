@@ -1,0 +1,1 @@
+lib/state/store.ml: Filter Flow Hashtbl Ipaddr List Opennf_net

@@ -1,0 +1,1 @@
+lib/state/store.mli: Filter Flow Ipaddr Opennf_net

@@ -1,0 +1,27 @@
+(** Serialized state chunks.
+
+    A chunk is "one or more related internal NF structures associated
+    with the same flow (or set of flows)" (§4.2), serialized to bytes by
+    the owning NF. The controller treats chunks as opaque: it never
+    inspects [data], it only transfers (and optionally compresses) it. *)
+
+type t = {
+  kind : string;  (** NF-specific tag, e.g. ["ids.conn"]. *)
+  data : string;  (** Serialized bytes. *)
+}
+
+val v : kind:string -> string -> t
+val size : t -> int
+(** Bytes of payload plus the kind tag. *)
+
+val encode : kind:string -> (Opennf_util.Bytes_io.Writer.t -> unit) -> t
+(** Build the payload with a binary writer. *)
+
+val reader : t -> Opennf_util.Bytes_io.Reader.t
+(** A reader positioned at the start of [data]. *)
+
+val compress : t -> t
+(** LZ-compressed copy ([kind] suffixed with ["+lz"]). *)
+
+val decompress : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+type t = Per | Multi | All
+
+let all = [ Per; Multi; All ]
+
+let to_string = function
+  | Per -> "per-flow"
+  | Multi -> "multi-flow"
+  | All -> "all-flows"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let mem = List.mem

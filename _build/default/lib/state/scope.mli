@@ -1,0 +1,13 @@
+(** The paper's state taxonomy (§4.1, Figure 3).
+
+    State created or updated by an NF applies to one flow ([Per]), a
+    collection of flows such as all flows of a host ([Multi]), or every
+    flow the NF processes ([All]). Northbound operations take a list of
+    scopes to act on. *)
+
+type t = Per | Multi | All
+
+val all : t list
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val mem : t -> t list -> bool

@@ -1,0 +1,67 @@
+open Opennf_net
+
+(* Deterministic enumeration: sort by key so simulation runs do not
+   depend on hash-table iteration order. *)
+
+module Perflow = struct
+  type 'a t = 'a Flow.Table.t
+
+  let create () = Flow.Table.create 64
+  let find t k = Flow.Table.find_opt t (Flow.canonical k)
+  let set t k v = Flow.Table.replace t (Flow.canonical k) v
+  let remove t k = Flow.Table.remove t (Flow.canonical k)
+  let mem t k = Flow.Table.mem t (Flow.canonical k)
+
+  let matching t filter =
+    Flow.Table.fold
+      (fun k v acc -> if Filter.matches_flow filter k then (k, v) :: acc else acc)
+      t []
+    |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
+
+  let fold t ~init ~f = Flow.Table.fold (fun k v acc -> f k v acc) t init
+  let size = Flow.Table.length
+end
+
+module Per_host = struct
+  type 'a t = (Ipaddr.t, 'a) Hashtbl.t
+
+  let create () = Hashtbl.create 64
+  let find t ip = Hashtbl.find_opt t ip
+  let set t ip v = Hashtbl.replace t ip v
+  let remove t ip = Hashtbl.remove t ip
+
+  let update t ip ~default ~f =
+    let current = match find t ip with Some v -> v | None -> default () in
+    set t ip (f current)
+
+  let matching t filter =
+    Hashtbl.fold
+      (fun ip v acc ->
+        if Filter.matches_host filter ip then (ip, v) :: acc else acc)
+      t []
+    |> List.sort (fun (a, _) (b, _) -> Ipaddr.compare a b)
+
+  let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f k v acc) t init
+  let size = Hashtbl.length
+end
+
+module Keyed = struct
+  type ('k, 'a) t = {
+    table : ('k, 'a) Hashtbl.t;
+    relevant : Filter.t -> 'k -> 'a -> bool;
+  }
+
+  let create ~relevant = { table = Hashtbl.create 64; relevant }
+  let find t k = Hashtbl.find_opt t.table k
+  let set t k v = Hashtbl.replace t.table k v
+  let remove t k = Hashtbl.remove t.table k
+
+  let matching t filter =
+    Hashtbl.fold
+      (fun k v acc -> if t.relevant filter k v then (k, v) :: acc else acc)
+      t.table []
+    |> List.sort compare
+
+  let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f k v acc) t.table init
+  let size t = Hashtbl.length t.table
+end

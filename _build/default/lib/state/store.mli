@@ -1,0 +1,59 @@
+(** Keyed in-memory stores NFs build their state on.
+
+    These are plain hash tables with filter-aware enumeration, so that
+    NF implementations of [get*] can answer "all state pertaining to
+    flows matching this filter" without bespoke lookup code. They impose
+    no structure on the values — the NF keeps whatever objects it likes,
+    which is the point of the southbound API design (§4.2). *)
+
+open Opennf_net
+
+module Perflow : sig
+  type 'a t
+  (** Connection-scoped state, keyed by the canonical 5-tuple. *)
+
+  val create : unit -> 'a t
+  val find : 'a t -> Flow.key -> 'a option
+  (** Keys are canonicalized: both directions find the same entry. *)
+
+  val set : 'a t -> Flow.key -> 'a -> unit
+  val remove : 'a t -> Flow.key -> unit
+  val mem : 'a t -> Flow.key -> bool
+  val matching : 'a t -> Filter.t -> (Flow.key * 'a) list
+  (** Entries whose connection matches the filter (either direction),
+      in unspecified but deterministic order. *)
+
+  val fold : 'a t -> init:'b -> f:(Flow.key -> 'a -> 'b -> 'b) -> 'b
+  val size : 'a t -> int
+end
+
+module Per_host : sig
+  type 'a t
+  (** Host-scoped multi-flow state (e.g. per-host scan counters). *)
+
+  val create : unit -> 'a t
+  val find : 'a t -> Ipaddr.t -> 'a option
+  val set : 'a t -> Ipaddr.t -> 'a -> unit
+  val remove : 'a t -> Ipaddr.t -> unit
+  val update : 'a t -> Ipaddr.t -> default:(unit -> 'a) -> f:('a -> 'a) -> unit
+  val matching : 'a t -> Filter.t -> (Ipaddr.t * 'a) list
+  (** Hosts accepted by the filter's address constraints
+      ([Filter.matches_host]). *)
+
+  val fold : 'a t -> init:'b -> f:(Ipaddr.t -> 'a -> 'b -> 'b) -> 'b
+  val size : 'a t -> int
+end
+
+module Keyed : sig
+  type ('k, 'a) t
+  (** Generic store for NF-specific keys (e.g. URLs in a cache) with a
+      caller-supplied relevance test for filters. *)
+
+  val create : relevant:(Filter.t -> 'k -> 'a -> bool) -> ('k, 'a) t
+  val find : ('k, 'a) t -> 'k -> 'a option
+  val set : ('k, 'a) t -> 'k -> 'a -> unit
+  val remove : ('k, 'a) t -> 'k -> unit
+  val matching : ('k, 'a) t -> Filter.t -> ('k * 'a) list
+  val fold : ('k, 'a) t -> init:'b -> f:('k -> 'a -> 'b -> 'b) -> 'b
+  val size : ('k, 'a) t -> int
+end

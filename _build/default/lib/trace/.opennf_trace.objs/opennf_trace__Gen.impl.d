@@ -1,0 +1,1 @@
+lib/trace/gen.ml: Array Char Float Flow Ipaddr List Opennf_net Opennf_util Packet Printf String

@@ -1,0 +1,1 @@
+lib/trace/gen.mli: Flow Ipaddr Opennf_net Opennf_util Packet

@@ -1,0 +1,183 @@
+module Rng = Opennf_util.Rng
+module Hashing = Opennf_util.Hashing
+open Opennf_net
+
+type t = { mutable next_id : int; rng : Rng.t }
+
+let create ?(seed = 42) () = { next_id = 0; rng = Rng.create ~seed }
+let rng t = t.rng
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let packet t ~at ~key ?(flags = []) ?(seq = 0) ?payload ?size () =
+  let p =
+    Packet.create ~id:(fresh_id t) ~key ~flags ~seq ?payload
+      ?wire_size:size ~sent_at:at ()
+  in
+  (at, p)
+
+let merge schedules =
+  List.stable_sort
+    (fun (a, _) (b, _) -> Float.compare a b)
+    (List.concat schedules)
+
+let default_src_net = Ipaddr.v 10 1 0 0
+let default_dst_net = Ipaddr.v 172 16 0 0
+
+(* Distinct 5-tuples: vary host low bytes and ports with the index. *)
+let nth_flow ~src_net ~dst_net i =
+  let src = Ipaddr.of_int (Ipaddr.to_int src_net + (i mod 250) + 1) in
+  let dst = Ipaddr.of_int (Ipaddr.to_int dst_net + (i / 250 mod 250) + 1) in
+  Flow.make ~src ~dst ~proto:Flow.Tcp ~sport:(10000 + (i mod 50000))
+    ~dport:80 ()
+
+let steady_flows t ~flows ~rate ~start ~duration ?(src_net = default_src_net)
+    ?(dst_net = default_dst_net) () =
+  assert (flows > 0 && rate > 0.0);
+  let keys = List.init flows (fun i -> nth_flow ~src_net ~dst_net i) in
+  let keys_arr = Array.of_list keys in
+  let interval = 1.0 /. rate in
+  let total = int_of_float (duration *. rate) in
+  let seqs = Array.make flows 0 in
+  let schedule = ref [] in
+  (* Handshakes first: SYN then SYN+ACK per flow, paced at the aggregate
+     rate so the warm-up is part of the workload. *)
+  let time = ref start in
+  Array.iteri
+    (fun i key ->
+      schedule := packet t ~at:!time ~key ~flags:[ Syn ] () :: !schedule;
+      time := !time +. interval;
+      schedule :=
+        packet t ~at:!time ~key:(Flow.reverse key) ~flags:[ Syn; Ack ] ~seq:1 ()
+        :: !schedule;
+      time := !time +. interval;
+      seqs.(i) <- 2)
+    keys_arr;
+  (* Steady data packets, round-robin across flows, alternating
+     direction, each with a small payload. *)
+  for n = 0 to total - 1 do
+    let i = n mod flows in
+    let key = keys_arr.(i) in
+    let key = if seqs.(i) mod 2 = 0 then key else Flow.reverse key in
+    let payload = Printf.sprintf "data-%d-%d" i seqs.(i) in
+    schedule :=
+      packet t ~at:!time ~key ~flags:[ Ack ] ~seq:seqs.(i) ~payload ()
+      :: !schedule;
+    seqs.(i) <- seqs.(i) + 1;
+    time := !time +. interval
+  done;
+  (* Orderly teardown: each flow closes with a FIN exchange, so NF
+     bookkeeping can distinguish completed connections from abruptly
+     abandoned ones (§8.4). *)
+  Array.iteri
+    (fun i key ->
+      schedule :=
+        packet t ~at:!time ~key ~flags:[ Ack; Fin ] ~seq:seqs.(i) ()
+        :: !schedule;
+      time := !time +. interval;
+      schedule :=
+        packet t ~at:!time ~key:(Flow.reverse key) ~flags:[ Ack; Fin ]
+          ~seq:(seqs.(i) + 1) ()
+        :: !schedule;
+      time := !time +. interval)
+    keys_arr;
+  (List.rev !schedule, keys)
+
+let split_body body n =
+  let len = String.length body in
+  let rec go acc off =
+    if off >= len then List.rev acc
+    else
+      let k = min n (len - off) in
+      go (String.sub body off k :: acc) (off + k)
+  in
+  go [] 0
+
+let http_session t ~client ~server ~sport ~start ~url ?(agent = "Firefox")
+    ~body ?(body_pkt_bytes = 1400) ?(gap = 0.0005) () =
+  let key = Flow.make ~src:client ~dst:server ~proto:Flow.Tcp ~sport ~dport:80 () in
+  let back = Flow.reverse key in
+  let time = ref start in
+  let step () =
+    let now = !time in
+    time := !time +. gap;
+    now
+  in
+  let schedule = ref [] in
+  let emit ~key ?(flags = [ Packet.Ack ]) ?seq ?payload () =
+    schedule := packet t ~at:(step ()) ~key ~flags ?seq ?payload () :: !schedule
+  in
+  emit ~key ~flags:[ Syn ] ~seq:0 ();
+  emit ~key:back ~flags:[ Syn; Ack ] ~seq:0 ();
+  emit ~key ~seq:1 ~payload:(Printf.sprintf "GET %s UA=%s" url agent) ();
+  let pieces = split_body body body_pkt_bytes in
+  let n = List.length pieces in
+  List.iteri
+    (fun i piece ->
+      let flags =
+        if i = n - 1 then [ Packet.Ack; Packet.Fin ] else [ Packet.Ack ]
+      in
+      emit ~key:back ~flags ~seq:(1 + i) ~payload:piece ())
+    pieces;
+  emit ~key ~flags:[ Packet.Ack; Packet.Fin ] ~seq:2 ();
+  List.rev !schedule
+
+let port_scan t ~src ~dst ~ports ~start ?(gap = 0.001) () =
+  List.mapi
+    (fun i port ->
+      let key = Flow.make ~src ~dst ~proto:Flow.Tcp ~sport:(40000 + i) ~dport:port () in
+      packet t ~at:(start +. (float_of_int i *. gap)) ~key ~flags:[ Syn ] ())
+    ports
+
+(* Log-skewed URL popularity: index ~ floor(u^2 * n) favours low indexes. *)
+let skewed_index rng n =
+  let u = Rng.float rng 1.0 in
+  let i = int_of_float (u *. u *. float_of_int n) in
+  min (n - 1) i
+
+let proxy_requests t ~client ~proxy ~urls ~requests ~start ?(rate = 5.0)
+    ?object_size ?(cont_bytes = 65536) ?(cont_gap = 0.0005) () =
+  let object_size =
+    match object_size with Some f -> f | None -> fun _ -> 1024 * 1024
+  in
+  let interval = 1.0 /. rate in
+  let schedule = ref [] in
+  let time = ref start in
+  for r = 0 to requests - 1 do
+    let url = urls.(skewed_index t.rng (Array.length urls)) in
+    let key =
+      Flow.make ~src:client ~dst:proxy ~proto:Flow.Tcp ~sport:(20000 + r)
+        ~dport:3128 ()
+    in
+    let req_at = !time in
+    schedule :=
+      packet t ~at:req_at ~key ~flags:[ Syn ] () :: !schedule;
+    schedule :=
+      packet t ~at:(req_at +. 0.0002) ~key ~seq:1 ~payload:("GET " ^ url) ()
+      :: !schedule;
+    (* Continuations drive the transfer chunk by chunk. *)
+    let conts = (object_size url + cont_bytes - 1) / cont_bytes in
+    for c = 0 to conts - 1 do
+      schedule :=
+        packet t
+          ~at:(req_at +. 0.0004 +. (float_of_int c *. cont_gap))
+          ~key ~seq:(2 + c) ~payload:"CONT" ()
+        :: !schedule
+    done;
+    time := !time +. interval
+  done;
+  merge [ List.rev !schedule ]
+
+let malware_body ?(tag = "EICAR") n =
+  let base = Printf.sprintf "MALWARE:%s:" tag in
+  let body =
+    String.init n (fun i ->
+        if i < String.length base then base.[i]
+        else Char.chr (65 + ((i * 7) mod 26)))
+  in
+  let d = Hashing.Digest_sig.create () in
+  Hashing.Digest_sig.feed d body;
+  (body, Hashing.Digest_sig.value d)

@@ -1,0 +1,95 @@
+(** Synthetic workload generation.
+
+    Stands in for the paper's replayed university-to-cloud and
+    datacenter traces. Generators return time-stamped packets sorted by
+    emission time; the caller injects them into a switch (e.g. with
+    [Fabric.inject_at]). All randomness comes from an explicit
+    {!Opennf_util.Rng.t}, so workloads are reproducible. *)
+
+open Opennf_net
+
+type t
+(** Generator context: packet-id counter + RNG. *)
+
+val create : ?seed:int -> unit -> t
+val rng : t -> Opennf_util.Rng.t
+
+val packet :
+  t ->
+  at:float ->
+  key:Flow.key ->
+  ?flags:Packet.tcp_flag list ->
+  ?seq:int ->
+  ?payload:string ->
+  ?size:int ->
+  unit ->
+  float * Packet.t
+
+(** {1 Workloads} *)
+
+val steady_flows :
+  t ->
+  flows:int ->
+  rate:float ->
+  start:float ->
+  duration:float ->
+  ?src_net:Ipaddr.t ->
+  ?dst_net:Ipaddr.t ->
+  unit ->
+  (float * Packet.t) list * Flow.key list
+(** The §8.1.1 workload: [flows] long-lived TCP connections carrying an
+    aggregate of [rate] packets/second, round-robin. Each flow opens
+    with a SYN and a SYN+ACK; data packets alternate directions. Returns
+    the schedule and the flow keys. *)
+
+val http_session :
+  t ->
+  client:Ipaddr.t ->
+  server:Ipaddr.t ->
+  sport:int ->
+  start:float ->
+  url:string ->
+  ?agent:string ->
+  body:string ->
+  ?body_pkt_bytes:int ->
+  ?gap:float ->
+  unit ->
+  (float * Packet.t) list
+(** Full HTTP exchange: handshake, GET request (with a User-Agent tag),
+    reply body split into packets, FIN from the server, final ACK. *)
+
+val port_scan :
+  t ->
+  src:Ipaddr.t ->
+  dst:Ipaddr.t ->
+  ports:int list ->
+  start:float ->
+  ?gap:float ->
+  unit ->
+  (float * Packet.t) list
+(** One SYN per target port. *)
+
+val proxy_requests :
+  t ->
+  client:Ipaddr.t ->
+  proxy:Ipaddr.t ->
+  urls:string array ->
+  requests:int ->
+  start:float ->
+  ?rate:float ->
+  ?object_size:(string -> int) ->
+  ?cont_bytes:int ->
+  ?cont_gap:float ->
+  unit ->
+  (float * Packet.t) list
+(** Table 1 workload: [requests] GETs drawn (log-skewed) from [urls] at
+    [rate] requests/second, each followed by the continuation packets
+    that drive the transfer ([object_size url / cont_bytes] of them). *)
+
+val malware_body : ?tag:string -> int -> string * int64
+(** [malware_body n] builds an [n]-byte HTTP body and returns it with
+    its {!Opennf_util.Hashing.Digest_sig} digest, for seeding an IDS
+    malware database. *)
+
+val merge : (float * Packet.t) list list -> (float * Packet.t) list
+(** Merge schedules, keeping time order (stable). *)

@@ -1,0 +1,1 @@
+lib/util/bytes_io.ml: Buffer Char Int64 List Printf String

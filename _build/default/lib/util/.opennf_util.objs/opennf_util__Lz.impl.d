@@ -1,0 +1,1 @@
+lib/util/lz.ml: Array Buffer Char List String

@@ -1,0 +1,89 @@
+exception Decode_error of string
+
+let fail msg = raise (Decode_error msg)
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t (v land 0xFFFF);
+    u16 t ((v lsr 16) land 0xFFFF)
+
+  let i64 t v =
+    for shift = 0 to 7 do
+      u8 t (Int64.to_int (Int64.shift_right_logical v (shift * 8)) land 0xFF)
+    done
+
+  let int t v = i64 t (Int64.of_int v)
+  let f64 t v = i64 t (Int64.bits_of_float v)
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let list t f xs =
+    u32 t (List.length xs);
+    List.iter f xs
+
+  let contents = Buffer.contents
+  let length = Buffer.length
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+
+  let u8 t =
+    if t.pos >= String.length t.src then fail "u8: past end";
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let i64 t =
+    let v = ref 0L in
+    for shift = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (shift * 8))
+    done;
+    !v
+
+  let int t = Int64.to_int (i64 t)
+  let f64 t = Int64.float_of_bits (i64 t)
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> fail (Printf.sprintf "bool: bad byte %d" n)
+
+  let string t =
+    let len = u32 t in
+    if t.pos + len > String.length t.src then fail "string: past end";
+    let s = String.sub t.src t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let list t f =
+    let n = u32 t in
+    List.init n (fun _ -> f ())
+
+  let at_end t = t.pos = String.length t.src
+end

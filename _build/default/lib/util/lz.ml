@@ -1,0 +1,133 @@
+(* Token stream format:
+   - 0x00 len(u16) bytes...      literal run (len >= 1)
+   - 0x01 dist(u16) len(u16)     back-reference: copy [len] bytes from
+                                 [dist] bytes behind the output cursor
+   Matches are found with a 4-byte hash table, greedy parsing. *)
+
+let min_match = 4
+let min_gainful = 6
+(* A back-reference costs 5 bytes, so shorter matches are kept literal. *)
+let max_match = 0xFFFF
+let max_dist = 0xFFFF
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+
+let hash4 s i =
+  let b k = Char.code s.[i + k] in
+  let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (v * 2654435761) lsr (31 - hash_bits) land (hash_size - 1)
+
+let put_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let flush_literals buf s lit_start lit_end =
+  let pos = ref lit_start in
+  while !pos < lit_end do
+    let len = min (lit_end - !pos) 0xFFFF in
+    Buffer.add_char buf '\x00';
+    put_u16 buf len;
+    Buffer.add_substring buf s !pos len;
+    pos := !pos + len
+  done
+
+let compress s =
+  let n = String.length s in
+  if n < min_match then begin
+    let buf = Buffer.create (n + 3) in
+    flush_literals buf s 0 n;
+    Buffer.contents buf
+  end
+  else begin
+    let buf = Buffer.create (n / 2) in
+    let table = Array.make hash_size (-1) in
+    let lit_start = ref 0 in
+    let i = ref 0 in
+    while !i + min_match <= n do
+      let h = hash4 s !i in
+      let cand = table.(h) in
+      table.(h) <- !i;
+      let matched =
+        cand >= 0
+        && !i - cand <= max_dist
+        && String.sub s cand min_match = String.sub s !i min_match
+      in
+      let len = ref 0 in
+      if matched then begin
+        (* Extend the match as far as possible. *)
+        len := min_match;
+        while
+          !len < max_match
+          && !i + !len < n
+          && s.[cand + !len] = s.[!i + !len]
+        do
+          incr len
+        done
+      end;
+      if matched && !len >= min_gainful then begin
+        flush_literals buf s !lit_start !i;
+        Buffer.add_char buf '\x01';
+        put_u16 buf (!i - cand);
+        put_u16 buf !len;
+        i := !i + !len;
+        lit_start := !i
+      end
+      else incr i
+    done;
+    flush_literals buf s !lit_start n;
+    Buffer.contents buf
+  end
+
+let get_u16 s i = Char.code s.[i] lor (Char.code s.[i + 1] lsl 8)
+
+let decompress s =
+  let n = String.length s in
+  let out = Buffer.create (n * 2) in
+  let i = ref 0 in
+  while !i < n do
+    match s.[!i] with
+    | '\x00' ->
+      if !i + 3 > n then invalid_arg "Lz.decompress: truncated literal";
+      let len = get_u16 s (!i + 1) in
+      if !i + 3 + len > n then invalid_arg "Lz.decompress: truncated literal";
+      Buffer.add_substring out s (!i + 3) len;
+      i := !i + 3 + len
+    | '\x01' ->
+      if !i + 5 > n then invalid_arg "Lz.decompress: truncated match";
+      let dist = get_u16 s (!i + 1) in
+      let len = get_u16 s (!i + 3) in
+      let start = Buffer.length out - dist in
+      if start < 0 then invalid_arg "Lz.decompress: bad distance";
+      (* Copy byte-by-byte: source may overlap destination. *)
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done;
+      i := !i + 5
+    | _ -> invalid_arg "Lz.decompress: bad token"
+  done;
+  Buffer.contents out
+
+let ratio s =
+  let n = String.length s in
+  if n = 0 then 1.0
+  else float_of_int (String.length (compress s)) /. float_of_int n
+
+let wire_size_with_dict ~dict s =
+  if String.length s = 0 then 0
+  else begin
+    let base = String.length (compress dict) in
+    let full = String.length (compress (dict ^ s)) in
+    max 4 (full - base)
+  end
+
+let stream_ratio chunks =
+  let total = List.fold_left (fun acc s -> acc + String.length s) 0 chunks in
+  if total = 0 then 1.0
+  else begin
+    let wire, _ =
+      List.fold_left
+        (fun (acc, dict) s -> (acc + wire_size_with_dict ~dict s, s))
+        (0, "") chunks
+    in
+    float_of_int wire /. float_of_int total
+  end

@@ -1,0 +1,69 @@
+module Summary = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let min t = t.min
+  let max t = t.max
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f" t.count
+      (mean t) t.min t.max (stddev t)
+end
+
+module Reservoir = struct
+  type t = { mutable samples : float list; mutable count : int }
+
+  let create () = { samples = []; count = 0 }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.count <- t.count + 1
+
+  let count t = t.count
+
+  let percentile t p =
+    if t.count = 0 then 0.0
+    else begin
+      let arr = Array.of_list t.samples in
+      Array.sort compare arr;
+      let rank = int_of_float (ceil (p *. float_of_int t.count)) - 1 in
+      let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+      arr.(rank)
+    end
+
+  let mean t =
+    if t.count = 0 then 0.0
+    else List.fold_left ( +. ) 0.0 t.samples /. float_of_int t.count
+
+  let max t = List.fold_left Stdlib.max neg_infinity t.samples
+  let to_list t = List.rev t.samples
+end
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr ?(by = 1) t = t.v <- t.v + by
+  let get t = t.v
+end

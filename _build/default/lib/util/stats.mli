@@ -1,0 +1,46 @@
+(** Online statistics accumulators used by the measurement harness. *)
+
+module Summary : sig
+  type t
+  (** Streaming summary: count, mean (Welford), min, max, variance. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val stddev : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+module Reservoir : sig
+  type t
+  (** Keeps all samples; supports exact percentiles. Intended for the
+      bounded sample counts of simulation experiments. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t 0.99]; nearest-rank on the sorted samples. 0 when
+      empty. *)
+
+  val mean : t -> float
+  val max : t -> float
+  val to_list : t -> float list
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val get : t -> int
+end

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Audit Controller Fabric Filter Float Flow List Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace

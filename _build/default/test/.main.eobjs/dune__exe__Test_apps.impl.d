@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Controller Fabric Filter Flow Fun Ipaddr List Move Opennf Opennf_apps Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Option String

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit Filter Flow Ipaddr List Opennf_net Opennf_sim Packet

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Audit Fabric Filter Flow Helpers Ipaddr List Move Opennf Opennf_baseline Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace Option Packet

@@ -1,0 +1,1 @@
+test/test_move.ml: Alcotest Audit Filter Helpers List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Option

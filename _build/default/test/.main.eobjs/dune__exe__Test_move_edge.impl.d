@@ -1,0 +1,1 @@
+test/test_move_edge.ml: Alcotest Audit Controller Fabric Filter Helpers Ipaddr List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Opennf_trace

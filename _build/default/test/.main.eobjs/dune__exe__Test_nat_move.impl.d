@@ -1,0 +1,1 @@
+test/test_nat_move.ml: Alcotest Controller Fabric Filter Flow Helpers List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_trace

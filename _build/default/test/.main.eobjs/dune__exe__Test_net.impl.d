@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Audit Channel Filter Flow Flowtable Ipaddr List Opennf_net Opennf_sim Option Packet QCheck QCheck_alcotest Switch

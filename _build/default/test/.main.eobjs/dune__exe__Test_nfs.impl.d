@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Array Chunk Filter Flow Ipaddr List Opennf_net Opennf_nfs Opennf_sb Opennf_state Opennf_trace Option Packet Printf String

@@ -1,0 +1,1 @@
+test/test_props.ml: Audit Copy_op Filter Flow Helpers Ipaddr List Move Opennf Opennf_net Opennf_nfs Opennf_sim Opennf_state Printf QCheck QCheck_alcotest

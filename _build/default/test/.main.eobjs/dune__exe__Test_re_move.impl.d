@@ -1,0 +1,1 @@
+test/test_re_move.ml: Alcotest Array Audit Controller Fabric Filter Flow Ipaddr List Move Opennf Opennf_net Opennf_nfs Opennf_sb Opennf_sim Opennf_state Opennf_trace Printf

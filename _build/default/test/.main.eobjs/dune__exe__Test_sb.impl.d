@@ -1,0 +1,1 @@
+test/test_sb.ml: Alcotest Audit Channel Chunk Filter Flow Ipaddr List Opennf_net Opennf_sb Opennf_sim Opennf_state Packet Store String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Opennf_sim Opennf_util

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Chunk Filter Flow Ipaddr List Opennf_net Opennf_state Opennf_util Scope Store String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Flow Int Ipaddr List Opennf_net Opennf_trace Opennf_util Packet String

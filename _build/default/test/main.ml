@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "opennf"
+    [
+      ("util", Test_util.suite);
+      ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("state", Test_state.suite);
+      ("sb", Test_sb.suite);
+      ("nfs", Test_nfs.suite);
+      ("move", Test_move.suite);
+      ("move-edge", Test_move_edge.suite);
+      ("audit", Test_audit.suite);
+      ("re-move", Test_re_move.suite);
+      ("nat-move", Test_nat_move.suite);
+      ("ids-move", Test_ids_move.suite);
+      ("ops", Test_ops.suite);
+      ("baseline", Test_baseline.suite);
+      ("apps", Test_apps.suite);
+      ("trace", Test_trace.suite);
+      ("properties", Test_props.suite);
+    ]

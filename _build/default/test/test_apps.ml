@@ -1,0 +1,227 @@
+(* Tests for the three control applications of §6. *)
+
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Costs = Opennf_sb.Costs
+open Opennf_net
+open Opennf
+
+let ip = Ipaddr.v
+let subnet_a = Ipaddr.Prefix.of_string "10.1.0.0/16"
+let subnet_b = Ipaddr.Prefix.of_string "10.2.0.0/16"
+
+let ids_pair ?(scan_threshold = 10) () =
+  let fab = Fabric.create ~seed:19 () in
+  let ids1 = Opennf_nfs.Ids.create ~scan_threshold () in
+  let ids2 = Opennf_nfs.Ids.create ~scan_threshold () in
+  let nf1, _ =
+    Fabric.add_nf fab ~name:"bro1" ~impl:(Opennf_nfs.Ids.impl ids1) ~costs:Costs.bro
+  in
+  let nf2, _ =
+    Fabric.add_nf fab ~name:"bro2" ~impl:(Opennf_nfs.Ids.impl ids2) ~costs:Costs.bro
+  in
+  (fab, ids1, ids2, nf1, nf2)
+
+let scans ids =
+  List.filter
+    (function Opennf_nfs.Ids.Port_scan _ -> true | _ -> false)
+    (Opennf_nfs.Ids.alert_log ids)
+
+(* --- load-balanced monitoring (Figure 8) ---------------------------------- *)
+
+let test_lb_move_prefix_reassigns () =
+  let fab, _, _, nf1, nf2 = ids_pair () in
+  let gen = Opennf_trace.Gen.create () in
+  let schedule, _ =
+    Opennf_trace.Gen.steady_flows gen ~flows:10 ~rate:200.0 ~start:0.05
+      ~duration:2.0
+      ~src_net:(Ipaddr.Prefix.network subnet_b)
+      ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Proc.spawn fab.engine (fun () ->
+      let app =
+        Opennf_apps.Lb_monitor.create fab.ctrl
+          ~instances:[ (nf1, [ subnet_a; subnet_b ]) ]
+          ~sync_period:0.5 ()
+      in
+      Proc.sleep 1.0;
+      let report = Opennf_apps.Lb_monitor.move_prefix app subnet_b ~to_:nf2 in
+      Alcotest.(check bool) "some flows moved" true (report.Move.per_chunks > 0);
+      Alcotest.(check (list (pair string (list bool))))
+        "assignment updated"
+        [ ("bro1", [ true ]); ("bro2", [ true ]) ]
+        (List.map
+           (fun (n, ps) ->
+             (n, List.map (fun p -> p = subnet_a || p = subnet_b) ps))
+           (List.sort compare (Opennf_apps.Lb_monitor.assignment app)));
+      Proc.sleep 1.2;
+      Alcotest.(check bool) "periodic syncs ran" true
+        (Opennf_apps.Lb_monitor.syncs_performed app > 0);
+      Opennf_apps.Lb_monitor.stop app);
+  Fabric.run fab
+
+let test_lb_rejects_bad_prefix_moves () =
+  let fab, _, _, nf1, nf2 = ids_pair () in
+  Proc.spawn fab.engine (fun () ->
+      let app =
+        Opennf_apps.Lb_monitor.create fab.ctrl ~instances:[ (nf1, [ subnet_a ]) ] ()
+      in
+      Alcotest.(check bool) "unknown prefix refused" true
+        (try
+           ignore (Opennf_apps.Lb_monitor.move_prefix app subnet_b ~to_:nf2);
+           false
+         with Invalid_argument _ -> true);
+      Alcotest.(check bool) "same-instance move refused" true
+        (try
+           ignore (Opennf_apps.Lb_monitor.move_prefix app subnet_a ~to_:nf1);
+           false
+         with Invalid_argument _ -> true);
+      Opennf_apps.Lb_monitor.stop app);
+  Fabric.run fab
+
+let test_lb_scan_detected_across_split () =
+  (* The headline property: a scan split across instances is still
+     caught, because counters are copied and kept in sync. *)
+  let fab, ids1, ids2, nf1, nf2 = ids_pair ~scan_threshold:12 () in
+  let gen = Opennf_trace.Gen.create ~seed:4 () in
+  let scanner = ip 203 0 113 66 in
+  let scan_a =
+    Opennf_trace.Gen.port_scan gen ~src:scanner
+      ~dst:(Ipaddr.of_int (Ipaddr.to_int (Ipaddr.Prefix.network subnet_a) + 7))
+      ~ports:(List.init 8 (fun i -> 1000 + i))
+      ~start:0.1 ~gap:0.1 ()
+  in
+  let scan_b =
+    Opennf_trace.Gen.port_scan gen ~src:scanner
+      ~dst:(Ipaddr.of_int (Ipaddr.to_int (Ipaddr.Prefix.network subnet_b) + 7))
+      ~ports:(List.init 8 (fun i -> 2000 + i))
+      ~start:0.15 ~gap:0.1 ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p)
+    (Opennf_trace.Gen.merge [ scan_a; scan_b ]);
+  Proc.spawn fab.engine (fun () ->
+      let app =
+        Opennf_apps.Lb_monitor.create fab.ctrl
+          ~instances:[ (nf1, [ subnet_a; subnet_b ]) ]
+          ~sync_period:0.3 ()
+      in
+      Proc.sleep 0.5;
+      ignore (Opennf_apps.Lb_monitor.move_prefix app subnet_b ~to_:nf2);
+      Proc.sleep 1.5;
+      Opennf_apps.Lb_monitor.stop app);
+  Fabric.run fab;
+  Alcotest.(check bool) "scan detected despite the split" true
+    (scans ids1 <> [] || scans ids2 <> [])
+
+(* --- failure recovery (Figure 9) --------------------------------------------- *)
+
+let test_failover_standby_has_state () =
+  let fab, _, standby_ids, primary, standby = ids_pair () in
+  let gen = Opennf_trace.Gen.create ~seed:6 () in
+  let http =
+    List.concat_map
+      (fun i ->
+        Opennf_trace.Gen.http_session gen
+          ~client:(ip 10 0 1 (10 + i))
+          ~server:(ip 8 8 8 8) ~sport:(31000 + i)
+          ~start:(0.1 +. (0.1 *. float_of_int i))
+          ~url:"/x" ~body:(String.make 2000 'b') ())
+      (List.init 5 Fun.id)
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) http;
+  let app = ref None in
+  Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any primary;
+      app :=
+        Some (Opennf_apps.Failover.init_standby fab.ctrl ~normal:primary ~standby ()));
+  Fabric.run fab;
+  let app = Option.get !app in
+  Alcotest.(check bool) "refreshes happened" true
+    (Opennf_apps.Failover.refreshes app > 0);
+  Alcotest.(check bool) "standby holds connection state" true
+    (Opennf_nfs.Ids.conn_count standby_ids > 0);
+  Opennf_apps.Failover.stop app
+
+let test_failover_scan_survives_failure () =
+  let fab, primary_ids, standby_ids, primary, standby =
+    ids_pair ~scan_threshold:10 ()
+  in
+  let gen = Opennf_trace.Gen.create ~seed:7 () in
+  let scan =
+    Opennf_trace.Gen.port_scan gen ~src:(ip 198 51 100 9) ~dst:(ip 10 0 1 99)
+      ~ports:(List.init 10 (fun i -> 3000 + i))
+      ~start:0.2 ~gap:0.15 ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) scan;
+  Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any primary;
+      let app =
+        Opennf_apps.Failover.init_standby fab.ctrl ~normal:primary ~standby ()
+      in
+      Proc.sleep 1.0;
+      Opennf_apps.Failover.stop app;
+      Opennf_apps.Failover.fail_over app ~filter:Filter.any);
+  Fabric.run fab;
+  Alcotest.(check int) "primary saw only half, no alert" 0
+    (List.length (scans primary_ids));
+  Alcotest.(check bool) "standby completes detection" true (scans standby_ids <> [])
+
+(* --- selective remote processing --------------------------------------------- *)
+
+let test_remote_proc_moves_only_flagged_flow () =
+  let body, digest = Opennf_trace.Gen.malware_body 30_000 in
+  let fab = Fabric.create ~seed:41 () in
+  let local_ids = Opennf_nfs.Ids.create ~check_malware:false () in
+  let cloud_ids = Opennf_nfs.Ids.create ~malware:[ digest ] () in
+  let local, _ =
+    Fabric.add_nf fab ~name:"local" ~impl:(Opennf_nfs.Ids.impl local_ids)
+      ~costs:Costs.bro
+  in
+  let cloud, _ =
+    Fabric.add_nf fab ~name:"cloud" ~impl:(Opennf_nfs.Ids.impl cloud_ids)
+      ~costs:Costs.bro
+  in
+  let gen = Opennf_trace.Gen.create ~seed:2 () in
+  let bad =
+    Opennf_trace.Gen.http_session gen ~client:(ip 10 0 2 7) ~server:(ip 203 0 113 80)
+      ~sport:34000 ~start:0.2 ~url:"/evil" ~agent:"IE6" ~body ~gap:0.002 ()
+  in
+  let good =
+    Opennf_trace.Gen.http_session gen ~client:(ip 10 0 2 8) ~server:(ip 8 8 8 8)
+      ~sport:35000 ~start:0.1 ~url:"/fine" ~body:(String.make 4000 'n') ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p)
+    (Opennf_trace.Gen.merge [ bad; good ]);
+  Proc.spawn fab.engine (fun () -> Controller.set_route fab.ctrl Filter.any local);
+  let app =
+    Opennf_apps.Remote_proc.start fab.ctrl ~local:[ (local, local_ids) ] ~cloud ()
+  in
+  Fabric.run fab;
+  Alcotest.(check int) "exactly one flow offloaded" 1
+    (Opennf_apps.Remote_proc.offload_count app);
+  Alcotest.(check bool) "the malware flow" true
+    (match Opennf_apps.Remote_proc.offloaded app with
+    | [ k ] -> Ipaddr.equal (Flow.canonical k).Flow.src_ip (ip 10 0 2 7)
+    | _ -> false);
+  Alcotest.(check bool) "cloud catches the malware (loss-free move)" true
+    (List.exists
+       (function Opennf_nfs.Ids.Malware _ -> true | _ -> false)
+       (Opennf_nfs.Ids.alert_log cloud_ids));
+  Alcotest.(check bool) "clean flow stayed local" true
+    (Opennf_nfs.Ids.conn_count local_ids >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "lb: move_prefix reassigns" `Quick
+      test_lb_move_prefix_reassigns;
+    Alcotest.test_case "lb: rejects bad moves" `Quick test_lb_rejects_bad_prefix_moves;
+    Alcotest.test_case "lb: scan across split" `Quick
+      test_lb_scan_detected_across_split;
+    Alcotest.test_case "failover: standby state" `Quick
+      test_failover_standby_has_state;
+    Alcotest.test_case "failover: scan survives failure" `Quick
+      test_failover_scan_survives_failure;
+    Alcotest.test_case "remote: offloads only flagged flow" `Quick
+      test_remote_proc_moves_only_flagged_flow;
+  ]

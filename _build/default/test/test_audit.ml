@@ -1,0 +1,121 @@
+(* Unit tests for the audit ledger itself — the checker the safety
+   claims rest on must be right. *)
+
+module Engine = Opennf_sim.Engine
+open Opennf_net
+
+let ip = Ipaddr.v
+let key = Flow.make ~src:(ip 10 0 0 1) ~dst:(ip 172 16 0 1) ~sport:1 ~dport:80 ()
+let other = Flow.make ~src:(ip 9 9 9 9) ~dst:(ip 8 8 8 8) ~sport:2 ~dport:443 ()
+
+let pkt id k = Packet.create ~id ~key:k ~sent_at:0.0 ()
+
+let bed () =
+  let e = Engine.create () in
+  (e, Audit.create e)
+
+let test_forwarded_order_dedupes () =
+  let _, a = bed () in
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 2 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 1 key) ~dst:"nf2" (* relay of 1 *);
+  Alcotest.(check (list int)) "first positions kept" [ 1; 2 ]
+    (Audit.forwarded_order a)
+
+let test_lost_and_processed () =
+  let _, a = bed () in
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 2 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 3 key) ~dst:"elsewhere";
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  Alcotest.(check (list int)) "2 lost, 3 out of scope" [ 2 ]
+    (Audit.lost a ~nfs:[ "nf1" ]);
+  Alcotest.(check int) "processed count" 1 (Audit.processed_count ~nf:"nf1" a)
+
+let test_duplicated () =
+  let _, a = bed () in
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  Audit.log_process a (pkt 1 key) ~nf:"nf2";
+  Audit.log_process a (pkt 2 key) ~nf:"nf1";
+  Alcotest.(check (list int)) "id 1 twice" [ 1 ] (Audit.duplicated a)
+
+let test_order_violations_detects_inversion () =
+  let _, a = bed () in
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 2 key) ~dst:"nf1";
+  Audit.log_process a (pkt 2 key) ~nf:"nf1";
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  Alcotest.(check (list (pair int int))) "inversion found" [ (1, 2) ]
+    (Audit.order_violations a)
+
+let test_order_violations_in_order_silent () =
+  let _, a = bed () in
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 2 key) ~dst:"nf1";
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  Audit.log_process a (pkt 2 key) ~nf:"nf2";
+  Alcotest.(check (list (pair int int))) "cross-instance but ordered" []
+    (Audit.order_violations a)
+
+let test_order_violations_filtered () =
+  let _, a = bed () in
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 2 other) ~dst:"nf1";
+  Audit.log_process a (pkt 2 other) ~nf:"nf1";
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  (* Globally inverted, but each flow alone is ordered. *)
+  Alcotest.(check int) "global inversion" 1
+    (List.length (Audit.order_violations a));
+  Alcotest.(check (list (pair int int))) "per-flow clean" []
+    (Audit.order_violations ~filter:(Filter.of_key key) a)
+
+let test_arrival_vs_forward_order () =
+  let _, a = bed () in
+  (* Arrives 1 then 2, but 1 is diverted (no forward) and re-injected
+     late: forwarding order is 2,1 while arrival order is 1,2. *)
+  Audit.log_switch_arrival a (pkt 1 key);
+  Audit.log_switch_arrival a (pkt 2 key);
+  Audit.log_forward a (pkt 2 key) ~dst:"nf1";
+  Audit.log_forward a (pkt 1 key) ~dst:"nf1";
+  Audit.log_process a (pkt 2 key) ~nf:"nf1";
+  Audit.log_process a (pkt 1 key) ~nf:"nf1";
+  Alcotest.(check (list (pair int int))) "fine vs forwarding" []
+    (Audit.order_violations a);
+  Alcotest.(check (list (pair int int))) "violation vs arrival" [ (1, 2) ]
+    (Audit.arrival_order_violations a)
+
+let test_added_latency () =
+  let e, a = bed () in
+  Engine.schedule e ~delay:1.0 (fun () -> Audit.log_nf_arrival a (pkt 5 key) ~nf:"nf1");
+  Engine.schedule e ~delay:1.5 (fun () -> Audit.log_process a (pkt 5 key) ~nf:"nf2");
+  Engine.run e;
+  match Audit.added_latency a ~pkt:5 with
+  | Some l -> Alcotest.(check (float 1e-9)) "0.5s" 0.5 l
+  | None -> Alcotest.fail "latency missing"
+
+let test_evented_and_buffered_ids () =
+  let _, a = bed () in
+  Audit.log_evented a (pkt 1 key) ~nf:"nf1";
+  Audit.log_evented a (pkt 2 key) ~nf:"nf2";
+  Audit.log_buffered a (pkt 3 key) ~nf:"nf2";
+  Alcotest.(check (list int)) "all events" [ 1; 2 ] (Audit.evented_ids a);
+  Alcotest.(check (list int)) "per nf" [ 2 ] (Audit.evented_ids ~nf:"nf2" a);
+  Alcotest.(check (list int)) "buffered" [ 3 ] (Audit.buffered_ids a)
+
+let suite =
+  [
+    Alcotest.test_case "forwarded order dedupes relays" `Quick
+      test_forwarded_order_dedupes;
+    Alcotest.test_case "lost/processed accounting" `Quick test_lost_and_processed;
+    Alcotest.test_case "duplicate detection" `Quick test_duplicated;
+    Alcotest.test_case "order violation detection" `Quick
+      test_order_violations_detects_inversion;
+    Alcotest.test_case "ordered runs are silent" `Quick
+      test_order_violations_in_order_silent;
+    Alcotest.test_case "per-flow filtering" `Quick test_order_violations_filtered;
+    Alcotest.test_case "arrival vs forwarding order" `Quick
+      test_arrival_vs_forward_order;
+    Alcotest.test_case "added latency" `Quick test_added_latency;
+    Alcotest.test_case "evented/buffered queries" `Quick
+      test_evented_and_buffered_ids;
+  ]

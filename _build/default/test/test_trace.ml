@@ -1,0 +1,129 @@
+(* Tests for the synthetic workload generators. *)
+
+module Gen = Opennf_trace.Gen
+open Opennf_net
+
+let ip = Ipaddr.v
+
+let sorted schedule =
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && check rest
+    | [ _ ] | [] -> true
+  in
+  check schedule
+
+let test_steady_flows_shape () =
+  let gen = Gen.create () in
+  let schedule, keys = Gen.steady_flows gen ~flows:10 ~rate:100.0 ~start:1.0 ~duration:1.0 () in
+  Alcotest.(check int) "flow count" 10 (List.length keys);
+  Alcotest.(check bool) "time-sorted" true (sorted schedule);
+  Alcotest.(check bool) "starts at start" true (fst (List.hd schedule) >= 1.0);
+  (* handshakes (2/flow) + data (rate*duration) + fins (2/flow) *)
+  Alcotest.(check int) "packet count" (20 + 100 + 20) (List.length schedule);
+  (* Each flow opens with a SYN and closes with FINs. *)
+  let by_flow k =
+    List.filter (fun (_, p) -> Flow.equal (Flow.canonical p.Packet.key) (Flow.canonical k)) schedule
+  in
+  List.iter
+    (fun k ->
+      let pkts = by_flow k in
+      Alcotest.(check bool) "opens with SYN" true
+        (Packet.is_syn (snd (List.hd pkts)));
+      Alcotest.(check bool) "closes with FIN" true
+        (Packet.has_flag (snd (List.nth pkts (List.length pkts - 1))) Fin))
+    keys
+
+let test_steady_flows_distinct_keys () =
+  let gen = Gen.create () in
+  let _, keys = Gen.steady_flows gen ~flows:300 ~rate:100.0 ~start:0.0 ~duration:0.1 () in
+  let uniq = List.sort_uniq Flow.compare keys in
+  Alcotest.(check int) "all distinct" 300 (List.length uniq)
+
+let test_packet_ids_unique () =
+  let gen = Gen.create () in
+  let s1, _ = Gen.steady_flows gen ~flows:5 ~rate:100.0 ~start:0.0 ~duration:0.5 () in
+  let s2 =
+    Gen.http_session gen ~client:(ip 1 1 1 1) ~server:(ip 2 2 2 2) ~sport:9
+      ~start:0.0 ~url:"/x" ~body:"abc" ()
+  in
+  let ids = List.map (fun (_, p) -> p.Packet.id) (s1 @ s2) in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq Int.compare ids))
+
+let test_http_session_structure () =
+  let gen = Gen.create () in
+  let body = String.make 3000 'b' in
+  let s =
+    Gen.http_session gen ~client:(ip 1 1 1 1) ~server:(ip 2 2 2 2) ~sport:9
+      ~start:0.5 ~url:"/file" ~agent:"IE6" ~body ~body_pkt_bytes:1000 ()
+  in
+  Alcotest.(check bool) "sorted" true (sorted s);
+  (* SYN, SYN+ACK, GET, 3 body, client FIN = 7 *)
+  Alcotest.(check int) "packet count" 7 (List.length s);
+  let payloads = List.map (fun (_, p) -> p.Packet.payload) s in
+  Alcotest.(check bool) "request carries UA" true
+    (List.exists (fun pl -> pl = "GET /file UA=IE6") payloads);
+  let body_bytes =
+    List.fold_left
+      (fun acc (_, (p : Packet.t)) ->
+        if Ipaddr.equal p.Packet.key.Flow.src_ip (ip 2 2 2 2) then
+          acc + String.length p.Packet.payload
+        else acc)
+      0 s
+  in
+  Alcotest.(check int) "body fully carried" 3000 body_bytes
+
+let test_port_scan_targets () =
+  let gen = Gen.create () in
+  let s = Gen.port_scan gen ~src:(ip 9 9 9 9) ~dst:(ip 10 0 0 1)
+      ~ports:[ 1; 2; 3 ] ~start:0.0 () in
+  Alcotest.(check int) "one SYN per port" 3 (List.length s);
+  List.iter
+    (fun (_, (p : Packet.t)) ->
+      Alcotest.(check bool) "is SYN" true (Packet.is_syn p))
+    s
+
+let test_proxy_requests_continuations () =
+  let gen = Gen.create () in
+  let urls = [| "/only" |] in
+  let s =
+    Gen.proxy_requests gen ~client:(ip 1 1 1 1) ~proxy:(ip 2 2 2 2) ~urls
+      ~requests:1 ~start:0.0 ~object_size:(fun _ -> 200_000) ~cont_bytes:65536 ()
+  in
+  (* SYN + GET + ceil(200000/65536)=4 continuations. *)
+  Alcotest.(check int) "packets" 6 (List.length s);
+  Alcotest.(check bool) "sorted" true (sorted s)
+
+let test_malware_body_digest_matches_ids_math () =
+  let body, digest = Gen.malware_body 10_000 in
+  Alcotest.(check int) "length" 10_000 (String.length body);
+  let d = Opennf_util.Hashing.Digest_sig.create () in
+  Opennf_util.Hashing.Digest_sig.feed d body;
+  Alcotest.(check int64) "digest consistent" digest
+    (Opennf_util.Hashing.Digest_sig.value d);
+  let body2, digest2 = Gen.malware_body ~tag:"OTHER" 10_000 in
+  Alcotest.(check bool) "tags differentiate" true
+    (body <> body2 && digest <> digest2)
+
+let test_merge_stable_sort () =
+  let gen = Gen.create () in
+  let a = [ Gen.packet gen ~at:1.0 ~key:(Flow.make ~src:(ip 1 1 1 1) ~dst:(ip 2 2 2 2) ~sport:1 ~dport:2 ()) () ] in
+  let b = [ Gen.packet gen ~at:0.5 ~key:(Flow.make ~src:(ip 3 3 3 3) ~dst:(ip 4 4 4 4) ~sport:3 ~dport:4 ()) () ] in
+  let merged = Gen.merge [ a; b ] in
+  Alcotest.(check bool) "sorted after merge" true (sorted merged);
+  Alcotest.(check int) "kept all" 2 (List.length merged)
+
+let suite =
+  [
+    Alcotest.test_case "steady flows: shape" `Quick test_steady_flows_shape;
+    Alcotest.test_case "steady flows: distinct keys" `Quick
+      test_steady_flows_distinct_keys;
+    Alcotest.test_case "generator: unique packet ids" `Quick test_packet_ids_unique;
+    Alcotest.test_case "http session: structure" `Quick test_http_session_structure;
+    Alcotest.test_case "port scan: one SYN per port" `Quick test_port_scan_targets;
+    Alcotest.test_case "proxy requests: continuations" `Quick
+      test_proxy_requests_continuations;
+    Alcotest.test_case "malware body: digest math" `Quick
+      test_malware_body_digest_matches_ids_math;
+    Alcotest.test_case "merge: stable sort" `Quick test_merge_stable_sort;
+  ]
