@@ -64,12 +64,13 @@ type t = {
   config : config;
   to_switch : Switch.to_switch Channel.t;
   inbox : (inbound * int) Proc.Mailbox.t;  (* message, wire size *)
-  mutable nfs : nf list;
+  nfs : (string, nf) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
   barriers : (int, unit Proc.Ivar.t) Hashtbl.t;
-  mutable event_subs : (int * event_sub) list;
-  mutable pkt_in_subs : (int * pkt_in_sub) list;
-  route_cookies : (Filter.t * int) list ref;
+  event_subs : (int, event_sub) Hashtbl.t;
+  pkt_in_subs : (int, pkt_in_sub) Hashtbl.t;
+  route_cookies : int Filter.Table.t;
+  final_cookies : int Filter.Table.t;
   mutable next_req : int;
   mutable next_cookie : int;
   mutable next_sub : int;
@@ -84,6 +85,13 @@ let phase2_priority = 300
 let engine t = t.engine
 let audit t = t.audit
 let messages_handled t = t.handled
+
+(* Subscriptions live in hashtables so unsubscribe is O(1); dispatch
+   still visits them in subscription (id) order for determinism. *)
+let iter_subs tbl f =
+  Hashtbl.fold (fun id sub acc -> (id, sub) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (_, sub) -> f sub)
 
 let dispatch t msg =
   match msg with
@@ -106,19 +114,15 @@ let dispatch t msg =
       Proc.Ivar.fill ivar ()
     | Some (Get _) | None -> ())
   | From_nf (Protocol.Event { nf; packet; disposition }) ->
-    List.iter
-      (fun (_, sub) ->
+    iter_subs t.event_subs (fun sub ->
         if
           String.equal sub.es_nf nf
           && Filter.matches_flow sub.es_filter packet.Packet.key
         then sub.es_callback packet disposition)
-      (List.rev t.event_subs)
   | From_switch (Switch.Packet_in { packet; cookie = _ }) ->
-    List.iter
-      (fun (_, sub) ->
+    iter_subs t.pkt_in_subs (fun sub ->
         if Filter.matches_flow sub.ps_filter packet.Packet.key then
           sub.ps_callback packet)
-      (List.rev t.pkt_in_subs)
   | From_switch (Switch.Barrier_reply { id }) -> (
     match Hashtbl.find_opt t.barriers id with
     | Some ivar ->
@@ -151,12 +155,13 @@ let create engine audit ~switch ?(config = default_config) () =
       config;
       to_switch;
       inbox = Proc.Mailbox.create engine;
-      nfs = [];
+      nfs = Hashtbl.create 16;
       pending = Hashtbl.create 64;
       barriers = Hashtbl.create 16;
-      event_subs = [];
-      pkt_in_subs = [];
-      route_cookies = ref [];
+      event_subs = Hashtbl.create 16;
+      pkt_in_subs = Hashtbl.create 16;
+      route_cookies = Filter.Table.create 64;
+      final_cookies = Filter.Table.create 64;
       next_req = 0;
       next_cookie = 1;
       next_sub = 0;
@@ -187,11 +192,11 @@ let attach t runtime =
       Proc.Mailbox.send t.inbox (From_nf reply, size));
   Runtime.set_controller runtime from_nf;
   let nf = { nf_name = name; to_nf; runtime } in
-  t.nfs <- nf :: t.nfs;
+  Hashtbl.replace t.nfs name nf;
   nf
 
 let nf_name nf = nf.nf_name
-let find_nf t name = List.find_opt (fun nf -> nf.nf_name = name) t.nfs
+let find_nf t name = Hashtbl.find_opt t.nfs name
 
 let send_request nf req =
   Channel.send nf.to_nf ~size:(Protocol.request_size req) req
@@ -273,20 +278,20 @@ let fresh_sub t =
 
 let subscribe_events t ~nf filter callback =
   let id = fresh_sub t in
-  t.event_subs <-
-    (id, { es_nf = nf; es_filter = filter; es_callback = callback })
-    :: t.event_subs;
+  Hashtbl.replace t.event_subs id
+    { es_nf = nf; es_filter = filter; es_callback = callback };
   id
 
 let subscribe_packet_in t filter callback =
   let id = fresh_sub t in
-  t.pkt_in_subs <-
-    (id, { ps_filter = filter; ps_callback = callback }) :: t.pkt_in_subs;
+  Hashtbl.replace t.pkt_in_subs id
+    { ps_filter = filter; ps_callback = callback };
   id
 
+(* Sub ids are unique across both tables, so removing from both is safe. *)
 let unsubscribe t id =
-  t.event_subs <- List.filter (fun (i, _) -> i <> id) t.event_subs;
-  t.pkt_in_subs <- List.filter (fun (i, _) -> i <> id) t.pkt_in_subs
+  Hashtbl.remove t.event_subs id;
+  Hashtbl.remove t.pkt_in_subs id
 
 (* --- forwarding state ----------------------------------------------------- *)
 
@@ -317,15 +322,21 @@ let rule_filters filter =
   if Filter.is_symmetric filter then [ filter ]
   else [ filter; Filter.mirror filter ]
 
+let memo_cookie t tbl filter =
+  match Filter.Table.find_opt tbl filter with
+  | Some c -> c
+  | None ->
+    let c = fresh_cookie t in
+    Filter.Table.replace tbl filter c;
+    c
+
 let set_route t filter nf =
-  let cookie =
-    match List.assoc_opt filter !(t.route_cookies) with
-    | Some c -> c
-    | None ->
-      let c = fresh_cookie t in
-      t.route_cookies := (filter, c) :: !(t.route_cookies);
-      c
-  in
+  let cookie = memo_cookie t t.route_cookies filter in
   install_rule t ~cookie ~priority:base_priority ~filters:(rule_filters filter)
     ~actions:[ Flowtable.Forward nf.nf_name ];
   barrier t
+
+(* One stable cookie per filter for move-final routes: repeated moves of
+   the same flows replace the previous final rule instead of piling up a
+   rule per reallocation. *)
+let final_route_cookie t filter = memo_cookie t t.final_cookies filter

@@ -117,6 +117,11 @@ val set_route : t -> Filter.t -> nf -> unit
     priority rule, replacing any previous route set for the same filter,
     and wait for it to take effect. *)
 
+val final_route_cookie : t -> Filter.t -> int
+(** The stable cookie used for [filter]'s move-final rule. Memoized per
+    filter, so repeated moves of the same flows replace one rule rather
+    than accumulating one per move. *)
+
 (** Rule priority conventions used by the move protocols. *)
 
 val base_priority : int

@@ -206,7 +206,9 @@ let reroute_final t spec =
     if Filter.is_symmetric spec.filter then [ spec.filter ]
     else [ spec.filter; Filter.mirror spec.filter ]
   in
-  let cookie = Controller.fresh_cookie t in
+  (* Stable per-filter cookie: moving the same flows again replaces the
+     previous final rule instead of growing the table per move. *)
+  let cookie = Controller.final_route_cookie t spec.filter in
   Controller.install_rule t ~cookie ~priority:Controller.move_final_priority
     ~filters ~actions:[ Flowtable.Forward (Controller.nf_name spec.dst) ];
   cookie

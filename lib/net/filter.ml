@@ -56,7 +56,53 @@ let equal a b =
   && opt_equal ( = ) a.tcp_flag b.tcp_flag
   && opt_equal String.equal a.app b.app
 
-let compare = Stdlib.compare
+let compare_opt cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let proto_rank = function Flow.Tcp -> 0 | Flow.Udp -> 1 | Flow.Icmp -> 2
+
+let flag_rank = function
+  | Packet.Syn -> 0
+  | Packet.Ack -> 1
+  | Packet.Fin -> 2
+  | Packet.Rst -> 3
+  | Packet.Psh -> 4
+
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  compare_opt Ipaddr.Prefix.compare a.src b.src <?> fun () ->
+  compare_opt Ipaddr.Prefix.compare a.dst b.dst <?> fun () ->
+  compare_opt (fun x y -> Int.compare (proto_rank x) (proto_rank y)) a.proto
+    b.proto
+  <?> fun () ->
+  compare_opt Int.compare a.src_port b.src_port <?> fun () ->
+  compare_opt Int.compare a.dst_port b.dst_port <?> fun () ->
+  compare_opt (fun x y -> Int.compare (flag_rank x) (flag_rank y)) a.tcp_flag
+    b.tcp_flag
+  <?> fun () -> compare_opt String.compare a.app b.app
+
+let hash t =
+  let open Opennf_util.Hashing in
+  let prefix64 = function
+    | None -> -1L
+    | Some p ->
+      Int64.of_int
+        ((Ipaddr.to_int (Ipaddr.Prefix.network p) lsl 6)
+        lor Ipaddr.Prefix.bits p)
+  in
+  let int64_of_opt f = function None -> -1L | Some x -> Int64.of_int (f x) in
+  let h = combine (prefix64 t.src) (prefix64 t.dst) in
+  let h = combine h (int64_of_opt proto_rank t.proto) in
+  let h = combine h (int64_of_opt Fun.id t.src_port) in
+  let h = combine h (int64_of_opt Fun.id t.dst_port) in
+  let h = combine h (int64_of_opt flag_rank t.tcp_flag) in
+  let h = combine h (match t.app with None -> 0L | Some a -> fnv1a64 a) in
+  Int64.to_int h land max_int
+
 let is_symmetric t = equal (mirror t) t
 
 let field_matches check constraint_ value =
@@ -142,3 +188,12 @@ let to_string t =
   | ps -> "{" ^ String.concat "," (List.rev ps) ^ "}"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Table = Hashtbl.Make (Hashed)

@@ -88,6 +88,17 @@ val exact_src_host : t -> Ipaddr.t option
 (** The source address when pinned to a /32 (host-scoped flowids). *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Structural, field by field (wildcard sorts before any constraint).
+    Agrees with {!equal}. *)
+
+val hash : t -> int
+(** Structural hash consistent with {!equal}; safe for keying the
+    controller's route tables. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+module Hashed : Hashtbl.HashedType with type t = t
+module Table : Hashtbl.S with type key = t

@@ -9,48 +9,262 @@ type rule = {
 }
 
 type entry = { rule : rule; installed_seq : int }
-type t = { mutable entries : entry list; mutable next_seq : int }
 
-let create () = { entries = []; next_seq = 0 }
+(* Entries are indexed two ways (plus a cookie map for management):
+
+   - [exact]: rules whose every filter pins a full 5-tuple live in a
+     hash keyed on that 5-tuple. A packet probes with its own key, so a
+     lookup inspects only the handful of rules installed for exactly
+     that flow, however many flows the table holds. Filters may still
+     carry a TCP-flag constraint — the probe yields candidates that are
+     re-checked with the full match.
+   - [wild]: everything else, bucketed by priority. Buckets are kept in
+     a list sorted by descending priority; within a bucket, entries are
+     newest (highest [installed_seq]) first, so the first match found is
+     the bucket's winner and scanning stops at the first bucket that
+     yields one (or as soon as the exact-match candidate outranks the
+     remaining buckets).
+
+   A per-table decision cache memoizes the winning rule per directed
+   flow key (one slot per direction; flow-table matching is directional,
+   so the two directions of a connection can legitimately hit different
+   rules). It is a bounded direct-mapped cache — like a switch's flow
+   cache, its working set tracks the traffic, not the table, which is
+   what keeps hit cost flat as installed rules grow. Conflicting flows
+   simply evict each other and recompute through the indexes. The cache
+   is only consulted while no installed rule constrains TCP flags
+   ([flag_rules] = 0) — otherwise two packets of the same flow can
+   legitimately match different rules — and slots are validated against
+   [generation], which every install/remove bumps. *)
+
+type bucket = { prio : int; mutable entries : entry list }
+
+(* Slots are flat — the winning rule is stored directly (with a dummy
+   standing in for "no rule matched") so a cache hit dereferences one
+   record beyond the slot itself. *)
+type slot = {
+  mutable d_key : Flow.key;
+  mutable d_gen : int;  (* -1 = never filled. *)
+  mutable d_rule : rule;
+  mutable d_hit : bool;  (* False: the memoized decision is "no match". *)
+}
+
+type t = {
+  by_cookie : (int, entry) Hashtbl.t;
+  exact : entry list Flow.Table.t;
+  mutable wild : bucket list;  (* Sorted by descending priority. *)
+  mutable flag_rules : int;
+  mutable generation : int;
+  mutable cache : slot array;  (* Direct-mapped; length is a power of 2. *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable next_seq : int;
+}
+
+let dummy_key =
+  Flow.make ~src:(Ipaddr.of_int 0) ~dst:(Ipaddr.of_int 0) ~sport:0 ~dport:0 ()
+
+let dummy_rule =
+  { cookie = min_int; priority = 0; filters = []; actions = []; matched = 0 }
+
+let cache_slots len =
+  Array.init len (fun _ ->
+      { d_key = dummy_key; d_gen = -1; d_rule = dummy_rule; d_hit = false })
+
+(* The cache starts small and doubles as rules are installed, up to a
+   fixed ceiling: small simulated switches stay cheap, large tables get
+   enough slots that concurrent flows rarely collide. *)
+let cache_initial = 256
+let cache_max = 1 lsl 17
+
+let create () =
+  {
+    by_cookie = Hashtbl.create 64;
+    exact = Flow.Table.create 64;
+    wild = [];
+    flag_rules = 0;
+    generation = 0;
+    cache = cache_slots cache_initial;
+    cache_hits = 0;
+    cache_misses = 0;
+    next_seq = 0;
+  }
+
+let exact_keys rule =
+  let keys = List.map Filter.exact_key rule.filters in
+  if List.for_all Option.is_some keys then
+    Some (List.sort_uniq Flow.compare (List.filter_map Fun.id keys))
+  else None
+
+let has_flag_filter rule =
+  List.exists (fun f -> Option.is_some f.Filter.tcp_flag) rule.filters
+
+let unlink t e =
+  Hashtbl.remove t.by_cookie e.rule.cookie;
+  if has_flag_filter e.rule then t.flag_rules <- t.flag_rules - 1;
+  match exact_keys e.rule with
+  | Some keys ->
+    List.iter
+      (fun k ->
+        match Flow.Table.find_opt t.exact k with
+        | None -> ()
+        | Some es -> (
+          match List.filter (fun e' -> e' != e) es with
+          | [] -> Flow.Table.remove t.exact k
+          | es' -> Flow.Table.replace t.exact k es'))
+      keys
+  | None ->
+    List.iter
+      (fun b -> b.entries <- List.filter (fun e' -> e' != e) b.entries)
+      t.wild;
+    t.wild <- List.filter (fun b -> b.entries <> []) t.wild
+
+let link t e =
+  Hashtbl.replace t.by_cookie e.rule.cookie e;
+  if has_flag_filter e.rule then t.flag_rules <- t.flag_rules + 1;
+  match exact_keys e.rule with
+  | Some keys ->
+    List.iter
+      (fun k ->
+        let es =
+          match Flow.Table.find_opt t.exact k with Some es -> es | None -> []
+        in
+        Flow.Table.replace t.exact k (e :: es))
+      keys
+  | None -> (
+    (* New entries always carry the largest seq, so prepending keeps the
+       bucket newest-first. *)
+    match List.find_opt (fun b -> b.prio = e.rule.priority) t.wild with
+    | Some b -> b.entries <- e :: b.entries
+    | None ->
+      let b = { prio = e.rule.priority; entries = [ e ] } in
+      t.wild <-
+        List.sort (fun a b -> Int.compare b.prio a.prio) (b :: t.wild))
+
+let invalidate t = t.generation <- t.generation + 1
+
+let maybe_grow_cache t =
+  let len = Array.length t.cache in
+  if len < cache_max && 2 * Hashtbl.length t.by_cookie >= len then
+    t.cache <- cache_slots (min cache_max (4 * len))
 
 let install t ~cookie ~priority ~filters ~actions =
   let rule = { cookie; priority; filters; actions; matched = 0 } in
   let entry = { rule; installed_seq = t.next_seq } in
   t.next_seq <- t.next_seq + 1;
-  t.entries <- entry :: List.filter (fun e -> e.rule.cookie <> cookie) t.entries
+  (match Hashtbl.find_opt t.by_cookie cookie with
+  | Some old -> unlink t old
+  | None -> ());
+  link t entry;
+  maybe_grow_cache t;
+  invalidate t
 
 let remove t ~cookie =
-  t.entries <- List.filter (fun e -> e.rule.cookie <> cookie) t.entries
+  match Hashtbl.find_opt t.by_cookie cookie with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    invalidate t
 
 let rule_matches r p = List.exists (fun f -> Filter.matches_packet f p) r.filters
 
-let lookup t p =
-  let best =
+(* Higher priority wins; the most recent install breaks ties. *)
+let beats a b =
+  a.rule.priority > b.rule.priority
+  || (a.rule.priority = b.rule.priority && a.installed_seq > b.installed_seq)
+
+let exact_best t p =
+  match Flow.Table.find_opt t.exact p.Packet.key with
+  | None -> None
+  | Some es ->
     List.fold_left
       (fun best e ->
         if rule_matches e.rule p then
           match best with
-          | None -> Some e
-          | Some b ->
-            if
-              e.rule.priority > b.rule.priority
-              || (e.rule.priority = b.rule.priority
-                 && e.installed_seq > b.installed_seq)
-            then Some e
-            else best
+          | Some b when beats b e -> best
+          | Some _ | None -> Some e
         else best)
-      None t.entries
+      None es
+
+let wild_best t p ~stop_at =
+  let rec bucket_scan = function
+    | [] -> None
+    | b :: rest -> (
+      match stop_at with
+      | Some limit when limit.rule.priority > b.prio -> None
+      | _ -> (
+        match List.find_opt (fun e -> rule_matches e.rule p) b.entries with
+        | Some e -> Some e
+        | None -> bucket_scan rest))
   in
-  match best with
+  bucket_scan t.wild
+
+let decide t p =
+  let exact = exact_best t p in
+  let winner =
+    match (exact, wild_best t p ~stop_at:exact) with
+    | best, None | None, best -> best
+    | Some a, Some b -> if beats a b then Some a else Some b
+  in
+  winner
+
+let record_match = function
   | None -> None
   | Some e ->
     e.rule.matched <- e.rule.matched + 1;
     Some e.rule
 
-let find t ~cookie =
-  List.find_map
-    (fun e -> if e.rule.cookie = cookie then Some e.rule else None)
-    t.entries
+let lookup t p =
+  if t.flag_rules > 0 then record_match (decide t p)
+  else begin
+    let key = p.Packet.key in
+    let slot = t.cache.(Flow.hash key land (Array.length t.cache - 1)) in
+    if slot.d_gen = t.generation && Flow.equal slot.d_key key then begin
+      t.cache_hits <- t.cache_hits + 1;
+      if slot.d_hit then begin
+        let r = slot.d_rule in
+        r.matched <- r.matched + 1;
+        Some r
+      end
+      else None
+    end
+    else begin
+      t.cache_misses <- t.cache_misses + 1;
+      let winner = decide t p in
+      slot.d_key <- key;
+      slot.d_gen <- t.generation;
+      (match winner with
+      | Some e ->
+        slot.d_rule <- e.rule;
+        slot.d_hit <- true
+      | None ->
+        slot.d_rule <- dummy_rule;
+        slot.d_hit <- false);
+      record_match winner
+    end
+  end
 
-let rules t = List.map (fun e -> e.rule) t.entries
-let size t = List.length t.entries
+(* Reference implementation: a linear scan over every installed rule,
+   shaped like the original unindexed table. Retained as the oracle for
+   the randomized equivalence tests (and the bench baseline); does not
+   touch the [matched] counters or the cache. *)
+let lookup_reference t p =
+  Hashtbl.fold
+    (fun _ e best ->
+      if rule_matches e.rule p then
+        match best with Some b when beats b e -> best | _ -> Some e
+      else best)
+    t.by_cookie None
+  |> Option.map (fun e -> e.rule)
+
+let find t ~cookie =
+  Option.map (fun e -> e.rule) (Hashtbl.find_opt t.by_cookie cookie)
+
+let rules t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.by_cookie []
+  |> List.sort (fun a b -> Int.compare b.installed_seq a.installed_seq)
+  |> List.map (fun e -> e.rule)
+
+let size t = Hashtbl.length t.by_cookie
+let generation t = t.generation
+let cache_stats t = (t.cache_hits, t.cache_misses)

@@ -26,8 +26,29 @@ val remove : t -> cookie:int -> unit
 
 val lookup : t -> Packet.t -> rule option
 (** Highest-priority matching rule; among equal priorities the most
-    recently installed wins. *)
+    recently installed wins.
+
+    O(1) for the common case: rules pinning full 5-tuples are probed by
+    hash on the packet's key, remaining (wildcard) rules are scanned by
+    descending priority bucket with early exit, and the winning decision
+    is memoized per flow while no installed rule constrains TCP flags.
+    Install/remove invalidate memoized decisions (generation counter),
+    so results are always identical to a full linear scan. *)
+
+val lookup_reference : t -> Packet.t -> rule option
+(** Oracle: unindexed linear scan over all rules, bypassing both indexes
+    and the decision cache. Same winner as {!lookup}, but does not
+    increment [matched]. For tests and benchmarks. *)
 
 val find : t -> cookie:int -> rule option
 val rules : t -> rule list
+(** Most recently installed first. *)
+
 val size : t -> int
+
+val generation : t -> int
+(** Bumped by every install/remove; decision-cache entries from older
+    generations are dead. *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the per-flow decision cache. *)

@@ -108,4 +108,8 @@ let control t msg =
 
 let table t = t.table
 let table_misses t = t.table_misses
+let table_generation t = Flowtable.generation t.table
+
+let decision_cache_stats t = Flowtable.cache_stats t.table
+
 let packet_out_backlog t = t.packet_out_backlog

@@ -59,5 +59,13 @@ val inject : t -> Packet.t -> unit
 
 val table : t -> Flowtable.t
 val table_misses : t -> int
+
+val table_generation : t -> int
+(** Flow-table generation: bumped by every applied flow-mod. Decisions
+    memoized under an older generation are never served. *)
+
+val decision_cache_stats : t -> int * int
+(** [(hits, misses)] of the flow table's per-flow decision cache. *)
+
 val packet_out_backlog : t -> int
 (** Packet-outs accepted but not yet transmitted. *)

@@ -4,22 +4,98 @@ open Opennf_net
    depend on hash-table iteration order. *)
 
 module Perflow = struct
-  type 'a t = 'a Flow.Table.t
+  (* Alongside the canonical-keyed value table, a secondary index maps
+     each endpoint address to the set of canonical keys touching it, so
+     host- and prefix-scoped getters enumerate candidates instead of
+     folding the whole store. *)
+  type 'a t = {
+    table : 'a Flow.Table.t;
+    by_host : (Ipaddr.t, Flow.Set.t ref) Hashtbl.t;
+  }
 
-  let create () = Flow.Table.create 64
-  let find t k = Flow.Table.find_opt t (Flow.canonical k)
-  let set t k v = Flow.Table.replace t (Flow.canonical k) v
-  let remove t k = Flow.Table.remove t (Flow.canonical k)
-  let mem t k = Flow.Table.mem t (Flow.canonical k)
+  let create () = { table = Flow.Table.create 64; by_host = Hashtbl.create 64 }
+  let find t k = Flow.Table.find_opt t.table (Flow.canonical k)
 
-  let matching t filter =
+  let index_add t ip k =
+    match Hashtbl.find_opt t.by_host ip with
+    | Some s -> s := Flow.Set.add k !s
+    | None -> Hashtbl.replace t.by_host ip (ref (Flow.Set.singleton k))
+
+  let index_remove t ip k =
+    match Hashtbl.find_opt t.by_host ip with
+    | None -> ()
+    | Some s ->
+      s := Flow.Set.remove k !s;
+      if Flow.Set.is_empty !s then Hashtbl.remove t.by_host ip
+
+  let set t k v =
+    let k = Flow.canonical k in
+    if not (Flow.Table.mem t.table k) then begin
+      index_add t k.Flow.src_ip k;
+      index_add t k.Flow.dst_ip k
+    end;
+    Flow.Table.replace t.table k v
+
+  let remove t k =
+    let k = Flow.canonical k in
+    if Flow.Table.mem t.table k then begin
+      Flow.Table.remove t.table k;
+      index_remove t k.Flow.src_ip k;
+      index_remove t k.Flow.dst_ip k
+    end
+
+  let mem t k = Flow.Table.mem t.table (Flow.canonical k)
+
+  (* Reference path (and oracle for the equivalence tests): fold over
+     every entry. *)
+  let matching_reference t filter =
     Flow.Table.fold
       (fun k v acc -> if Filter.matches_flow filter k then (k, v) :: acc else acc)
-      t []
+      t.table []
     |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
 
-  let fold t ~init ~f = Flow.Table.fold (fun k v acc -> f k v acc) t init
-  let size = Flow.Table.length
+  let of_candidates t filter keys =
+    Flow.Set.fold
+      (fun k acc ->
+        if Filter.matches_flow filter k then
+          match Flow.Table.find_opt t.table k with
+          | Some v -> (k, v) :: acc
+          | None -> acc
+        else acc)
+      keys []
+    |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
+
+  (* Candidates for an address constraint: a connection matches only if
+     one of its endpoints lies in the prefix ({!Filter.matches_flow}
+     tries both directions), and the index holds every key under both
+     endpoints, so the union over the prefix's hosts is complete. *)
+  let prefix_candidates t p =
+    if Ipaddr.Prefix.bits p = 32 then
+      match Hashtbl.find_opt t.by_host (Ipaddr.Prefix.network p) with
+      | Some s -> !s
+      | None -> Flow.Set.empty
+    else
+      Hashtbl.fold
+        (fun ip s acc ->
+          if Ipaddr.Prefix.mem ip p then Flow.Set.union !s acc else acc)
+        t.by_host Flow.Set.empty
+
+  let matching t filter =
+    match Filter.exact_key filter with
+    | Some key -> (
+      (* O(1): the filter pins one connection. *)
+      let k = Flow.canonical key in
+      match Flow.Table.find_opt t.table k with
+      | Some v -> [ (k, v) ]
+      | None -> [])
+    | None -> (
+      match (filter.Filter.src, filter.Filter.dst) with
+      | Some p, _ | None, Some p ->
+        of_candidates t filter (prefix_candidates t p)
+      | None, None -> matching_reference t filter)
+
+  let fold t ~init ~f = Flow.Table.fold (fun k v acc -> f k v acc) t.table init
+  let size t = Flow.Table.length t.table
 end
 
 module Per_host = struct

@@ -21,7 +21,16 @@ module Perflow : sig
   val mem : 'a t -> Flow.key -> bool
   val matching : 'a t -> Filter.t -> (Flow.key * 'a) list
   (** Entries whose connection matches the filter (either direction),
-      in unspecified but deterministic order. *)
+      in unspecified but deterministic order.
+
+      Indexed: an exact 5-tuple filter is a single hash probe, and
+      src/dst address constraints enumerate a per-host secondary index
+      instead of the whole store; only filters with no address
+      constraint fall back to a full scan. *)
+
+  val matching_reference : 'a t -> Filter.t -> (Flow.key * 'a) list
+  (** Oracle: fold over every entry, ignoring the indexes. Same result
+      as {!matching}; for tests and benchmarks. *)
 
   val fold : 'a t -> init:'b -> f:(Flow.key -> 'a -> 'b -> 'b) -> 'b
   val size : 'a t -> int

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);
+      ("index-equiv", Test_index_equiv.suite);
       ("state", Test_state.suite);
       ("sb", Test_sb.suite);
       ("nfs", Test_nfs.suite);

@@ -1,0 +1,137 @@
+(* Randomized equivalence of the indexed data path against retained
+   linear-scan references (ISSUE 1): under install/remove/query churn,
+   [Flowtable.lookup] (exact hash + priority buckets + decision cache)
+   must always agree with [Flowtable.lookup_reference], and
+   [Store.Perflow.matching] (exact fast path + per-host index) with
+   [Store.Perflow.matching_reference]. *)
+
+module Rng = Opennf_util.Rng
+open Opennf_net
+open Opennf_state
+
+(* A deliberately small universe so installs, removes and queries
+   collide often. *)
+let host rng = Ipaddr.v 10 0 (Rng.int rng 4) (Rng.int rng 8)
+let port rng = 1000 + Rng.int rng 4
+let protos = [| Flow.Tcp; Flow.Udp |]
+
+let key rng =
+  Flow.make ~src:(host rng) ~dst:(host rng)
+    ~proto:(Rng.pick rng protos) ~sport:(port rng) ~dport:(port rng) ()
+
+let packet rng ~id =
+  let flags = if Rng.int rng 4 = 0 then [ Packet.Syn ] else [] in
+  Packet.create ~id ~key:(key rng) ~flags ~sent_at:0.0 ()
+
+let cookie_of = Option.map (fun r -> r.Flowtable.cookie)
+
+let check_lookup table p =
+  Alcotest.(check (option int))
+    "indexed lookup agrees with linear reference"
+    (cookie_of (Flowtable.lookup_reference table p))
+    (cookie_of (Flowtable.lookup table p))
+
+let random_filter rng =
+  match Rng.int rng 8 with
+  | 0 -> Filter.any
+  | 1 -> Filter.of_src_host (host rng)
+  | 2 -> Filter.of_dst_host (host rng)
+  | 3 -> Filter.of_src_prefix (Ipaddr.Prefix.make (host rng) 24)
+  | 4 -> Filter.of_src_prefix (Ipaddr.Prefix.make (host rng) 16)
+  | 5 -> Filter.make ~src:(Ipaddr.Prefix.host (host rng)) ~dst_port:(port rng) ()
+  | 6 -> Filter.make ~proto:(Rng.pick rng protos) ()  (* no address: fallback *)
+  | _ -> Filter.of_key (key rng)
+
+let test_flowtable_churn () =
+  let rng = Rng.create ~seed:42 in
+  let table = Flowtable.create () in
+  for i = 1 to 4000 do
+    (match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+      (* Exact-match rule on a full 5-tuple (the common shape). *)
+      let f = Filter.of_key (key rng) in
+      Flowtable.install table ~cookie:(Rng.int rng 150)
+        ~priority:(100 + (50 * Rng.int rng 4))
+        ~filters:[ f; Filter.mirror f ]
+        ~actions:[ Flowtable.Forward "nf" ]
+    | 4 ->
+      (* Wildcard rule: prefix or catch-all. *)
+      let f =
+        if Rng.bool rng then
+          Filter.of_src_prefix (Ipaddr.Prefix.make (host rng) (8 * Rng.int rng 4))
+        else Filter.any
+      in
+      Flowtable.install table ~cookie:(Rng.int rng 150)
+        ~priority:(100 + (50 * Rng.int rng 4))
+        ~filters:[ f ]
+        ~actions:[ Flowtable.Forward "wild" ]
+    | 5 ->
+      (* Flag-constrained rule: disables the decision cache while any
+         such rule is installed. *)
+      let f = Filter.make ~src:(Ipaddr.Prefix.host (host rng)) ~tcp_flag:Syn () in
+      Flowtable.install table ~cookie:(Rng.int rng 150)
+        ~priority:(100 + (50 * Rng.int rng 4))
+        ~filters:[ f ]
+        ~actions:[ Flowtable.To_controller ]
+    | 6 -> Flowtable.remove table ~cookie:(Rng.int rng 150)
+    | _ ->
+      let p = packet rng ~id:i in
+      check_lookup table p;
+      (* Immediate repeat: hits the decision cache when it is active. *)
+      check_lookup table p);
+    ()
+  done;
+  let hits, misses = Flowtable.cache_stats table in
+  Alcotest.(check bool) "decision cache served hits" true (hits > 0);
+  Alcotest.(check bool) "decision cache saw misses" true (misses > 0)
+
+let test_flowtable_cache_invalidation () =
+  let rng = Rng.create ~seed:7 in
+  let table = Flowtable.create () in
+  let k = key rng in
+  let p = Packet.create ~id:1 ~key:k ~sent_at:0.0 () in
+  let f = Filter.of_key k in
+  Flowtable.install table ~cookie:1 ~priority:100
+    ~filters:[ f; Filter.mirror f ]
+    ~actions:[ Flowtable.Forward "a" ];
+  check_lookup table p;
+  check_lookup table p;
+  (* A higher-priority install must supersede the memoized decision. *)
+  Flowtable.install table ~cookie:2 ~priority:200
+    ~filters:[ f; Filter.mirror f ]
+    ~actions:[ Flowtable.Forward "b" ];
+  Alcotest.(check (option int)) "new rule wins after invalidation" (Some 2)
+    (cookie_of (Flowtable.lookup table p));
+  Flowtable.remove table ~cookie:2;
+  Alcotest.(check (option int)) "removal restores old rule" (Some 1)
+    (cookie_of (Flowtable.lookup table p));
+  Flowtable.remove table ~cookie:1;
+  Alcotest.(check (option int)) "empty table misses" None
+    (cookie_of (Flowtable.lookup table p))
+
+let pairs = Alcotest.(list (pair (testable Flow.pp Flow.equal) int))
+
+let test_perflow_churn () =
+  let rng = Rng.create ~seed:1337 in
+  let store = Store.Perflow.create () in
+  for i = 1 to 4000 do
+    match Rng.int rng 5 with
+    | 0 | 1 -> Store.Perflow.set store (key rng) i
+    | 2 -> Store.Perflow.remove store (key rng)
+    | _ ->
+      let f = random_filter rng in
+      Alcotest.check pairs
+        ("indexed matching agrees with reference for " ^ Filter.to_string f)
+        (Store.Perflow.matching_reference store f)
+        (Store.Perflow.matching store f)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "flowtable: randomized churn equivalence" `Quick
+      test_flowtable_churn;
+    Alcotest.test_case "flowtable: cache invalidation on install/remove" `Quick
+      test_flowtable_cache_invalidation;
+    Alcotest.test_case "perflow store: randomized churn equivalence" `Quick
+      test_perflow_churn;
+  ]
