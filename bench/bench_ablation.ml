@@ -46,7 +46,7 @@ let run_pair ?config ?flow_mod_delay ?costs () =
       Proc.spawn fab.engine (fun () ->
           lf :=
             Some
-              (Move.run fab.ctrl
+              (Move.run_exn fab.ctrl
                  (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
                     ~guarantee:Move.Loss_free ~parallel:true ()))));
   Fabric.run fab;
@@ -66,7 +66,7 @@ let run_pair ?config ?flow_mod_delay ?costs () =
   Engine.schedule_at fab2.engine move_at (fun () ->
       Proc.spawn fab2.engine (fun () ->
           ignore
-            (Move.run fab2.ctrl
+            (Move.run_exn fab2.ctrl
                (Move.spec ~src:n1 ~dst:n2 ~filter:Filter.any
                   ~guarantee:Move.No_guarantee ~parallel:true ()))));
   Fabric.run fab2;

@@ -19,7 +19,7 @@ let copy_experiment () =
   H.run_at bed.H.fab ~at:bed.H.move_at (fun () ->
       report :=
         Some
-          (Copy_op.run bed.H.fab.ctrl ~src:bed.H.nf1 ~dst:bed.H.nf2
+          (Copy_op.run_exn bed.H.fab.ctrl ~src:bed.H.nf1 ~dst:bed.H.nf2
              ~filter:Filter.any
              ~scope:[ Opennf_state.Scope.Multi ]
              ()));
@@ -49,7 +49,7 @@ let share_experiment ~rate ~instances =
   Proc.spawn fab.engine (fun () ->
       Controller.set_route fab.ctrl Filter.any (List.hd nfs);
       let share =
-        Share.start fab.ctrl ~instances:nfs ~filter:Filter.any
+        Share.start_exn fab.ctrl ~instances:nfs ~filter:Filter.any
           ~scope:[ Opennf_state.Scope.Multi ]
           ~consistency:Share.Strong ()
       in

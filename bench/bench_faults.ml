@@ -1,0 +1,244 @@
+(* Fault tolerance of the control plane: what does a crash actually
+   cost, and how does that cost move with the knobs the operator has?
+
+   Two sweeps over a primary/standby PRADS pair with steady traffic and
+   the Figure-9 failover app driven by the controller's liveness
+   monitor:
+
+   - detection-timeout sweep: crash the primary at a fixed instant and
+     vary the liveness budget (probe period x miss threshold). Recovery
+     time should track the detection budget and packets lost should be
+     roughly traffic rate x (detection + reroute) — the paper's case for
+     fast, controller-driven recovery (§2.1).
+
+   - crash-point sweep: crash an instance at each protocol phase of a
+     loss-free move and report the typed error, the rollback, and how
+     many packets the blackhole window cost. Every row must end with
+     traffic flowing (no permanent loss accrual after recovery).
+
+   Emits machine-readable BENCH_faults.json next to the working
+   directory's other BENCH_*.json files. All times are virtual, so the
+   numbers are deterministic. *)
+
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+module Faults = Opennf_sim.Faults
+module Costs = Opennf_sb.Costs
+open Opennf_net
+open Opennf
+module H = Harness
+
+let crash_t = 1.5
+let duration = 3.0
+let rate = 1000.0
+let flows = 40
+
+let bed ~resilience =
+  let fab = Fabric.create ~seed:21 ~resilience () in
+  let primary_p = Opennf_nfs.Prads.create () in
+  let standby_p = Opennf_nfs.Prads.create () in
+  let primary, rt1 =
+    Fabric.add_nf fab ~name:"primary" ~impl:(Opennf_nfs.Prads.impl primary_p)
+      ~costs:Costs.prads
+  in
+  let standby, rt2 =
+    Fabric.add_nf fab ~name:"standby" ~impl:(Opennf_nfs.Prads.impl standby_p)
+      ~costs:Costs.prads
+  in
+  let gen = Opennf_trace.Gen.create ~seed:22 () in
+  let schedule, _keys =
+    Opennf_trace.Gen.steady_flows gen ~flows ~rate ~start:0.05 ~duration ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any primary);
+  (fab, primary, standby, rt1, rt2, primary_p, standby_p)
+
+(* --- sweep 1: recovery vs detection budget ------------------------------ *)
+
+(* The liveness budget is what an idle controller needs before declaring
+   death: a probe must first time out (call_timeout per attempt, plus
+   backoffs) and [liveness_misses] consecutive probes must miss. *)
+let policy ~probe_period ~misses =
+  {
+    Controller.call_timeout = probe_period /. 2.0;
+    max_retries = 0;
+    backoff = 0.0;
+    liveness_misses = misses;
+    probe_period;
+  }
+
+let detection_budget (r : Controller.resilience) =
+  float_of_int r.liveness_misses
+  *. (r.probe_period +. Controller.call_budget r)
+
+let run_detection ~probe_period ~misses =
+  let resilience = policy ~probe_period ~misses in
+  let fab, primary, standby, _, rt2, _, _ = bed ~resilience in
+  let app = ref None in
+  Proc.spawn fab.engine (fun () ->
+      let a =
+        Opennf_apps.Failover.init_standby fab.ctrl ~normal:primary ~standby ()
+      in
+      Opennf_apps.Failover.enable_auto a ~filter:Filter.any;
+      app := Some a);
+  Controller.start_probes fab.ctrl ~until:duration;
+  Faults.crash_at fab.faults ~node:"primary" crash_t;
+  let standby_at_crash = ref 0 in
+  Engine.schedule_at fab.engine crash_t (fun () ->
+      standby_at_crash := Opennf_sb.Runtime.processed_count rt2);
+  Fabric.run fab;
+  let recovered_at = Opennf_apps.Failover.recovered_at (Option.get !app) in
+  let lost = List.length (Audit.lost fab.audit ~nfs:[ "primary"; "standby" ]) in
+  let recovery =
+    match recovered_at with Some t -> t -. crash_t | None -> Float.nan
+  in
+  let standby_took_over =
+    Opennf_sb.Runtime.processed_count rt2 > !standby_at_crash
+  in
+  (detection_budget resilience, recovery, lost, standby_took_over)
+
+(* --- sweep 2: packets lost vs crash point of a move --------------------- *)
+
+let phase_name = function
+  | Move.Transfer_started -> "transfer-started"
+  | State_captured -> "state-captured"
+  | State_deleted -> "state-deleted"
+  | State_installed -> "state-installed"
+  | Phase1_installed -> "phase1-installed"
+  | Phase2_installed -> "phase2-installed"
+
+let move_resilience =
+  {
+    Controller.call_timeout = 0.05;
+    max_retries = 1;
+    backoff = 0.01;
+    liveness_misses = 2;
+    probe_period = 0.1;
+  }
+
+(* Crash [node] the instant the move reaches [phase]; the move's own
+   supervision detects the death and rolls back to the survivor. *)
+let run_crash_point ~node ~phase =
+  let fab, primary, standby, rt1, rt2, _, _ = bed ~resilience:move_resilience in
+  let outcome = ref "no-crash" in
+  let survivor_rt = if node = "primary" then rt2 else rt1 in
+  let survivor_at_crash = ref (-1) in
+  Proc.spawn fab.engine (fun () ->
+      Proc.sleep crash_t;
+      let r =
+        Move.run fab.ctrl
+          (Move.spec ~src:primary ~dst:standby ~filter:Filter.any
+             ~guarantee:Move.Loss_free
+             ~on_phase:(fun p ->
+               if p = phase then begin
+                 Faults.crash_now fab.faults ~node;
+                 survivor_at_crash :=
+                   Opennf_sb.Runtime.processed_count survivor_rt
+               end)
+             ())
+      in
+      outcome :=
+        match r with
+        | Ok _ -> "ok"
+        | Error e -> Op_error.to_string e);
+  Fabric.run fab;
+  let lost = List.length (Audit.lost fab.audit ~nfs:[ "primary"; "standby" ]) in
+  let recovered =
+    !survivor_at_crash >= 0
+    && Opennf_sb.Runtime.processed_count survivor_rt > !survivor_at_crash
+  in
+  (!outcome, lost, recovered)
+
+(* --- report ------------------------------------------------------------- *)
+
+let run () =
+  H.section
+    "Fault tolerance: recovery time and packets lost (crash injection)";
+  let detection_rows =
+    List.map
+      (fun (probe_period, misses) ->
+        let budget, recovery, lost, took_over =
+          run_detection ~probe_period ~misses
+        in
+        (probe_period, misses, budget, recovery, lost, took_over))
+      [ (0.025, 2); (0.05, 2); (0.05, 3); (0.1, 3); (0.2, 3); (0.4, 4) ]
+  in
+  H.table
+    ~header:
+      [
+        "probe (ms)"; "misses"; "budget (ms)"; "recovery (ms)"; "pkts lost";
+        "standby took over";
+      ]
+    (List.map
+       (fun (p, m, budget, recovery, lost, took_over) ->
+         [
+           Printf.sprintf "%.0f" (1000.0 *. p);
+           string_of_int m;
+           Printf.sprintf "%.0f" (1000.0 *. budget);
+           Printf.sprintf "%.1f" (1000.0 *. recovery);
+           string_of_int lost;
+           (if took_over then "yes" else "NO");
+         ])
+       detection_rows);
+  H.note
+    "Expected shape: recovery tracks the detection budget; packets lost \
+     scale with recovery time at ~%.0f pps." rate;
+  let crash_rows =
+    List.concat_map
+      (fun phase ->
+        List.map
+          (fun node ->
+            let outcome, lost, recovered = run_crash_point ~node ~phase in
+            (node, phase_name phase, outcome, lost, recovered))
+          (match phase with
+          (* Before any state moved only the source's death is
+             interesting; later phases stress the destination dying with
+             state in flight. *)
+          | Move.Transfer_started -> [ "primary" ]
+          | _ -> [ "standby" ]))
+      [
+        Move.Transfer_started; Move.State_captured; Move.State_deleted;
+        Move.State_installed;
+      ]
+  in
+  H.table
+    ~header:[ "crashed"; "at phase"; "move result"; "pkts lost"; "traffic resumed" ]
+    (List.map
+       (fun (node, phase, outcome, lost, recovered) ->
+         [ node; phase; outcome; string_of_int lost;
+           (if recovered then "yes" else "NO") ])
+       crash_rows);
+  H.note
+    "Every row must report a typed error and resumed traffic: rollback \
+     re-installs held state on the survivor and reroutes, so a crash \
+     mid-move never leaves flows blackholed.";
+  let oc = open_out "BENCH_faults.json" in
+  output_string oc "{\n  \"bench\": \"faults\",\n  \"detection_sweep\": [\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (p, m, budget, recovery, lost, took_over) ->
+            Printf.sprintf
+              "    {\"probe_period_s\": %.3f, \"liveness_misses\": %d, \
+               \"detection_budget_s\": %.4f, \"recovery_s\": %.4f, \
+               \"packets_lost\": %d, \"standby_took_over\": %b}"
+              p m budget recovery lost took_over)
+          detection_rows));
+  output_string oc "\n  ],\n  \"crash_point_sweep\": [\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (node, phase, outcome, lost, recovered) ->
+            Printf.sprintf
+              "    {\"crashed\": \"%s\", \"phase\": \"%s\", \"result\": \
+               \"%s\", \"packets_lost\": %d, \"traffic_resumed\": %b}"
+              node phase (String.escaped outcome) lost recovered)
+          crash_rows));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  H.note "wrote BENCH_faults.json"
+
+let () =
+  H.register ~id:"faults"
+    ~descr:"crash injection: recovery time and packets lost" run

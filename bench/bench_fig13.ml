@@ -56,7 +56,7 @@ let run_once ~moves ~flows =
       let ivars =
         List.map
           (fun (i, nf1, nf2) ->
-            Move.start fab.ctrl
+            Move.start_exn fab.ctrl
               (Move.spec ~src:nf1 ~dst:nf2
                  ~filter:(Filter.of_src_prefix (subnet_prefix i))
                  ~guarantee:Move.Loss_free ~parallel:true ()))

@@ -42,7 +42,7 @@ let run_move ~compress =
   H.run_at fab ~at:0.5 (fun () ->
       report :=
         Some
-          (Move.run fab.ctrl
+          (Move.run_exn fab.ctrl
              (Move.spec ~src:nf1 ~dst:nf2
                 ~filter:(Filter.of_src_prefix subnet)
                 ~guarantee:Move.Loss_free ~parallel:true ~compress ())));

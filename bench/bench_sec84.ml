@@ -84,7 +84,7 @@ let run_split approach =
       | Opennf_move ->
         mv_report :=
           Some
-            (Move.run fab.ctrl
+            (Move.run_exn fab.ctrl
                (Move.spec ~src:nf1 ~dst:nf2 ~filter:http_filter
                   ~scope:[ Opennf_state.Scope.Per; Opennf_state.Scope.Multi ]
                   ~guarantee:Move.Loss_free ~parallel:true ())));

@@ -62,7 +62,7 @@ let run_approach approach =
       | Ignore -> ()
       | Copy_client ->
         let report =
-          Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2
+          Copy_op.run_exn fab.ctrl ~src:nf1 ~dst:nf2
             ~filter:(Filter.of_src_host client2)
             ~scope:[ Opennf_state.Scope.Multi ]
             ()
@@ -70,7 +70,7 @@ let run_approach approach =
         transferred := report.Copy_op.state_bytes
       | Copy_all ->
         let report =
-          Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
+          Copy_op.run_exn fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
             ~scope:[ Opennf_state.Scope.Multi ]
             ()
         in
@@ -79,7 +79,7 @@ let run_approach approach =
          and reroute (the paper updates routing for in-progress and
          future requests from client 2). *)
       ignore
-        (Move.run fab.ctrl
+        (Move.run_exn fab.ctrl
            (Move.spec ~src:nf1 ~dst:nf2 ~filter:(Filter.of_src_host client2)
               ~guarantee:Move.Loss_free ~parallel:true ())));
   Fabric.run fab;

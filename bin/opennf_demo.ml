@@ -73,7 +73,7 @@ let run_move flows rate guarantee parallel early_release compress =
   Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
       Proc.spawn fab.engine (fun () ->
           let report =
-            Move.run fab.ctrl
+            Move.run_exn fab.ctrl
               (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any ~guarantee
                  ~parallel ~early_release ~compress ())
           in
@@ -183,10 +183,10 @@ let run_scale_out () =
       Controller.set_route fab.ctrl Filter.any nf1;
       Proc.sleep 0.9;
       ignore
-        (Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
+        (Copy_op.run_exn fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
            ~scope:[ Opennf_state.Scope.Multi ] ());
       ignore
-        (Move.run fab.ctrl
+        (Move.run_exn fab.ctrl
            (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
               ~guarantee:Move.Loss_free ~parallel:true ())));
   Fabric.run fab;

@@ -36,7 +36,7 @@ let () =
   Fabric.Engine.schedule_at fab.engine 1.0 (fun () ->
       Proc.spawn fab.engine (fun () ->
           let report =
-            Move.run fab.ctrl
+            Move.run_exn fab.ctrl
               (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
                  ~guarantee:Move.Loss_free ~parallel:true ())
           in

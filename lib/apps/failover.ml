@@ -11,6 +11,7 @@ type t = {
   mutable refreshes : int;
   mutable bytes : int;
   mutable refreshing : Flow.Set.t;  (* Coalesce concurrent refreshes. *)
+  mutable recovered_at : float option;
 }
 
 (* Copy the per-flow state for the event packet's flow to the standby
@@ -25,19 +26,25 @@ let update_standby t (p : Packet.t) =
     let host_filter = Filter.of_src_host p.Packet.key.Flow.src_ip in
     let touches_counters = Packet.has_flag p Syn || Packet.has_flag p Rst in
     Proc.spawn (Controller.engine t.ctrl) (fun () ->
-        let r1 =
-          Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
-            ~filter:(Filter.of_key key) ~scope:[ Scope.Per ] ()
-        in
-        t.bytes <- t.bytes + r1.Copy_op.state_bytes;
-        if touches_counters then begin
-          let r2 =
-            Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
-              ~filter:host_filter ~scope:[ Scope.Multi ] ()
-          in
-          t.bytes <- t.bytes + r2.Copy_op.state_bytes
-        end;
-        t.refreshes <- t.refreshes + 1;
+        (* A refresh racing the primary's death must not take the app
+           down: a failed copy is simply skipped (the standby keeps its
+           previous, eventually-consistent snapshot). *)
+        (match
+           Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
+             ~filter:(Filter.of_key key) ~scope:[ Scope.Per ] ()
+         with
+        | Ok r1 ->
+          t.bytes <- t.bytes + r1.Copy_op.state_bytes;
+          if touches_counters then begin
+            match
+              Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
+                ~filter:host_filter ~scope:[ Scope.Multi ] ()
+            with
+            | Ok r2 -> t.bytes <- t.bytes + r2.Copy_op.state_bytes
+            | Error _ -> ()
+          end;
+          t.refreshes <- t.refreshes + 1
+        | Error _ -> ());
         t.refreshing <- Flow.Set.remove key t.refreshing)
   end
 
@@ -52,6 +59,7 @@ let init_standby ctrl ~normal ~standby
       refreshes = 0;
       bytes = 0;
       refreshing = Flow.Set.empty;
+      recovered_at = None;
     }
   in
   let triggers =
@@ -65,22 +73,38 @@ let init_standby ctrl ~normal ~standby
     ]
   in
   t.handles <-
-    List.map (fun filter -> Notify.enable ctrl normal filter (update_standby t))
+    List.map (fun filter -> Notify.enable_exn ctrl normal filter (update_standby t))
       triggers;
   (* Seed the standby's multi-flow state once; SYN/RST notifications keep
      the relevant parts fresh afterwards. *)
   Proc.spawn (Controller.engine ctrl) (fun () ->
-      let r =
+      match
         Copy_op.run ctrl ~src:normal ~dst:standby ~filter:Filter.any
           ~scope:[ Scope.Multi; Scope.All ] ()
-      in
-      t.bytes <- t.bytes + r.Copy_op.state_bytes);
+      with
+      | Ok r -> t.bytes <- t.bytes + r.Copy_op.state_bytes
+      | Error _ -> ());
   t
 
-let fail_over t ~filter = Controller.set_route t.ctrl filter t.standby
-let refreshes t = t.refreshes
-let bytes_transferred t = t.bytes
+let fail_over t ~filter =
+  Controller.set_route t.ctrl filter t.standby;
+  if t.recovered_at = None then
+    t.recovered_at <- Some (Opennf_sim.Engine.now (Controller.engine t.ctrl))
 
 let stop t =
   List.iter (Notify.disable t.ctrl) t.handles;
   t.handles <- []
+
+(* Close the loop with the controller's liveness monitor: the instant
+   the primary is declared dead, reroute to the standby and stop the
+   (now pointless) refresh notifications. *)
+let enable_auto t ~filter =
+  Controller.on_nf_death t.ctrl (fun name ->
+      if String.equal name (Controller.nf_name t.normal) then begin
+        fail_over t ~filter;
+        stop t
+      end)
+
+let refreshes t = t.refreshes
+let bytes_transferred t = t.bytes
+let recovered_at t = t.recovered_at

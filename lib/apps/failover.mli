@@ -26,7 +26,20 @@ val init_standby :
 
 val fail_over : t -> filter:Filter.t -> unit
 (** Blocking: reroute matching traffic to the standby (the "normal"
-    instance is presumed dead — nothing is fetched from it). *)
+    instance is presumed dead — nothing is fetched from it). Records
+    {!recovered_at} on first invocation. *)
+
+val enable_auto : t -> filter:Filter.t -> unit
+(** Drive {!fail_over} from the controller's liveness monitor: when the
+    primary is declared dead ({!Opennf.Controller.on_nf_death}), traffic
+    matching [filter] is rerouted to the standby and the refresh
+    notifications are stopped. Requires the controller to have a
+    resilience policy (and probes or traffic) for deaths to be
+    detected. *)
+
+val recovered_at : t -> float option
+(** Virtual time of the first {!fail_over}, if any — used to measure
+    recovery time against the crash instant. *)
 
 val refreshes : t -> int
 (** Number of per-flow state refreshes pushed to the standby. *)

@@ -49,10 +49,10 @@ let start_sync_loop t pair =
         Proc.sleep t.sync_period;
         if not t.stopped then begin
           ignore
-            (Copy_op.run t.ctrl ~src:pair.a ~dst:pair.b ~filter:Filter.any
+            (Copy_op.run_exn t.ctrl ~src:pair.a ~dst:pair.b ~filter:Filter.any
                ~scope:[ Scope.Multi ] ());
           ignore
-            (Copy_op.run t.ctrl ~src:pair.b ~dst:pair.a ~filter:Filter.any
+            (Copy_op.run_exn t.ctrl ~src:pair.b ~dst:pair.a ~filter:Filter.any
                ~scope:[ Scope.Multi ] ());
           t.syncs <- t.syncs + 1;
           loop ()
@@ -82,12 +82,12 @@ let move_prefix t prefix ~to_ =
     (* Copy (not move) the multi-flow state: scan counters are kept per
        <external IP, port> and may matter to flows of other prefixes. *)
     ignore
-      (Copy_op.run t.ctrl ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Multi ]
+      (Copy_op.run_exn t.ctrl ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Multi ]
          ());
     (* Loss-free (but not order-preserving) move of the per-flow state:
        reordering only delays scan detection (§6). *)
     let report =
-      Move.run t.ctrl
+      Move.run_exn t.ctrl
         (Move.spec ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Per ]
            ~guarantee:Move.Loss_free ~parallel:true ())
     in

@@ -21,7 +21,7 @@ let on_alert t local_nf alert =
             Move.spec ~src:local_nf ~dst:t.cloud ~filter:(Filter.of_key flow)
               ~scope:[ Scope.Per ] ~guarantee:Move.Loss_free ~parallel:true ()
           in
-          ignore (Move.run t.ctrl spec);
+          ignore (Move.run_exn t.ctrl spec);
           t.in_flight <- Flow.Set.remove flow t.in_flight;
           t.offloaded <- flow :: t.offloaded)
     end

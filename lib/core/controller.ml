@@ -1,5 +1,6 @@
 module Engine = Opennf_sim.Engine
 module Proc = Opennf_sim.Proc
+module Faults = Opennf_sim.Faults
 module Protocol = Opennf_sb.Protocol
 module Runtime = Opennf_sb.Runtime
 open Opennf_net
@@ -25,19 +26,47 @@ let default_config =
     msg_cost_per_byte = 0.35e-6;
   }
 
+type resilience = {
+  call_timeout : float;
+  max_retries : int;
+  backoff : float;
+  liveness_misses : int;
+  probe_period : float;
+}
+
+let default_resilience =
+  {
+    call_timeout = 0.05;
+    max_retries = 2;
+    backoff = 0.01;
+    liveness_misses = 3;
+    probe_period = 0.1;
+  }
+
+(* Worst-case budget of one resilient call: every attempt times out and
+   every backoff is paid. Operations use it to bound their own waits. *)
+let call_budget r =
+  let rec backoffs n acc =
+    if n >= r.max_retries then acc
+    else backoffs (n + 1) (acc +. (r.backoff *. (2.0 ** float_of_int n)))
+  in
+  (float_of_int (r.max_retries + 1) *. r.call_timeout) +. backoffs 0 0.0
+
 type nf = {
   nf_name : string;
   to_nf : Protocol.request Channel.t;
   runtime : Runtime.t;
+  mutable misses : int;  (** Consecutive missed call deadlines. *)
+  mutable live : bool;
 }
 
 type pending =
   | Get of {
       mutable chunks : (Filter.t * Chunk.t) list;  (* Reverse order. *)
       on_piece : (Filter.t -> Chunk.t -> unit) option;
-      result : (Filter.t * Chunk.t) list Proc.Ivar.t;
+      result : ((Filter.t * Chunk.t) list, Op_error.t) result Proc.Ivar.t;
     }
-  | Write of unit Proc.Ivar.t
+  | Write of (unit, Op_error.t) result Proc.Ivar.t
 
 type event_sub = {
   es_nf : string;
@@ -62,6 +91,8 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   config : config;
+  resilience : resilience option;
+  faults : Faults.t option;
   to_switch : Switch.to_switch Channel.t;
   inbox : (inbound * int) Proc.Mailbox.t;  (* message, wire size *)
   nfs : (string, nf) Hashtbl.t;
@@ -71,6 +102,7 @@ type t = {
   pkt_in_subs : (int, pkt_in_sub) Hashtbl.t;
   route_cookies : int Filter.Table.t;
   final_cookies : int Filter.Table.t;
+  mutable on_death : (string -> unit) list;
   mutable next_req : int;
   mutable next_cookie : int;
   mutable next_sub : int;
@@ -85,6 +117,7 @@ let phase2_priority = 300
 let engine t = t.engine
 let audit t = t.audit
 let messages_handled t = t.handled
+let resilience t = t.resilience
 
 (* Subscriptions live in hashtables so unsubscribe is O(1); dispatch
    still visits them in subscription (id) order for determinism. *)
@@ -98,20 +131,26 @@ let dispatch t msg =
   | From_nf (Protocol.Piece { req; flowid; chunk }) -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Get g) ->
-      g.chunks <- (flowid, chunk) :: g.chunks;
-      Option.iter (fun f -> f flowid chunk) g.on_piece
+      (* A retried or duplicated streaming get may replay a piece;
+         idempotent request ids mean replays are ignored. *)
+      if not (List.exists (fun (f, _) -> Filter.equal f flowid) g.chunks)
+      then begin
+        g.chunks <- (flowid, chunk) :: g.chunks;
+        Option.iter (fun f -> f flowid chunk) g.on_piece
+      end
     | Some (Write _) | None -> ())
   | From_nf (Protocol.Done { req; chunks }) -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Get g) ->
       Hashtbl.remove t.pending req;
-      Proc.Ivar.fill g.result (List.rev g.chunks @ chunks)
+      ignore
+        (Proc.Ivar.fill_if_empty g.result (Ok (List.rev g.chunks @ chunks)))
     | Some (Write _) | None -> ())
   | From_nf (Protocol.Ack { req }) -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Write ivar) ->
       Hashtbl.remove t.pending req;
-      Proc.Ivar.fill ivar ()
+      ignore (Proc.Ivar.fill_if_empty ivar (Ok ()))
     | Some (Get _) | None -> ())
   | From_nf (Protocol.Event { nf; packet; disposition }) ->
     iter_subs t.event_subs (fun sub ->
@@ -141,10 +180,11 @@ let cpu_loop t () =
   in
   loop ()
 
-let create engine audit ~switch ?(config = default_config) () =
+let create engine audit ~switch ?(config = default_config) ?faults ?resilience
+    () =
   let to_switch =
     Channel.create engine ~latency:config.sw_latency
-      ?bandwidth:config.sw_bandwidth ~name:"ctrl->sw" ()
+      ?bandwidth:config.sw_bandwidth ?faults ~name:"ctrl->sw" ()
   in
   Channel.set_handler to_switch (Switch.control switch);
   let t =
@@ -153,6 +193,8 @@ let create engine audit ~switch ?(config = default_config) () =
       audit;
       switch;
       config;
+      resilience;
+      faults;
       to_switch;
       inbox = Proc.Mailbox.create engine;
       nfs = Hashtbl.create 16;
@@ -162,6 +204,7 @@ let create engine audit ~switch ?(config = default_config) () =
       pkt_in_subs = Hashtbl.create 16;
       route_cookies = Filter.Table.create 64;
       final_cookies = Filter.Table.create 64;
+      on_death = [];
       next_req = 0;
       next_cookie = 1;
       next_sub = 0;
@@ -169,7 +212,7 @@ let create engine audit ~switch ?(config = default_config) () =
     }
   in
   let from_switch =
-    Channel.create engine ~latency:config.sw_latency ~name:"sw->ctrl" ()
+    Channel.create engine ~latency:config.sw_latency ?faults ~name:"sw->ctrl" ()
   in
   Channel.set_handler_with_size from_switch (fun msg size ->
       Proc.Mailbox.send t.inbox (From_switch msg, size));
@@ -180,23 +223,42 @@ let create engine audit ~switch ?(config = default_config) () =
 let attach t runtime =
   let name = Runtime.name runtime in
   let to_nf =
-    Channel.create t.engine ~latency:t.config.nf_latency
+    Channel.create t.engine ~latency:t.config.nf_latency ?faults:t.faults
       ~name:("ctrl->" ^ name) ()
   in
   Channel.set_handler to_nf (Runtime.control runtime);
   let from_nf =
-    Channel.create t.engine ~latency:t.config.nf_latency
+    Channel.create t.engine ~latency:t.config.nf_latency ?faults:t.faults
       ~name:(name ^ "->ctrl") ()
   in
   Channel.set_handler_with_size from_nf (fun reply size ->
       Proc.Mailbox.send t.inbox (From_nf reply, size));
   Runtime.set_controller runtime from_nf;
-  let nf = { nf_name = name; to_nf; runtime } in
+  let nf = { nf_name = name; to_nf; runtime; misses = 0; live = true } in
   Hashtbl.replace t.nfs name nf;
   nf
 
 let nf_name nf = nf.nf_name
 let find_nf t name = Hashtbl.find_opt t.nfs name
+
+(* --- liveness monitor ---------------------------------------------------- *)
+
+let nf_alive _t nf = nf.live
+let on_nf_death t f = t.on_death <- f :: t.on_death
+
+let declare_nf_dead t nf =
+  if nf.live then begin
+    nf.live <- false;
+    (* Callbacks may run blocking operations (reroutes); give each its
+       own process. *)
+    List.iter
+      (fun f -> Proc.spawn t.engine (fun () -> f nf.nf_name))
+      (List.rev t.on_death)
+  end
+
+let note_deadline_miss t nf r =
+  nf.misses <- nf.misses + 1;
+  if nf.misses >= r.liveness_misses then declare_nf_dead t nf
 
 let send_request nf req =
   Channel.send nf.to_nf ~size:(Protocol.request_size req) req
@@ -206,7 +268,40 @@ let fresh_req t =
   t.next_req <- t.next_req + 1;
   r
 
-(* --- southbound wrappers ------------------------------------------------ *)
+(* Watch one outstanding call: wake at the deadline, resend with
+   exponential backoff, and fail the result ivar with a typed error once
+   the NF is declared dead or retries are exhausted. Replies that arrive
+   after a resend hit the same request id, so duplicates are ignored by
+   the pending table and [fill_if_empty]. *)
+let supervise t nf ~req ~result ~resend r =
+  Proc.spawn t.engine (fun () ->
+      let rec attempt n =
+        match Proc.Ivar.read_timeout result ~timeout:r.call_timeout with
+        | Some _ -> nf.misses <- 0
+        | None ->
+          note_deadline_miss t nf r;
+          if not nf.live then begin
+            Hashtbl.remove t.pending req;
+            ignore
+              (Proc.Ivar.fill_if_empty result
+                 (Error (Op_error.Nf_crashed { nf = nf.nf_name })))
+          end
+          else if n >= r.max_retries then begin
+            Hashtbl.remove t.pending req;
+            ignore
+              (Proc.Ivar.fill_if_empty result
+                 (Error
+                    (Op_error.Timeout { nf = nf.nf_name; after = call_budget r })))
+          end
+          else begin
+            Proc.sleep (r.backoff *. (2.0 ** float_of_int n));
+            resend ();
+            attempt (n + 1)
+          end
+      in
+      attempt 0)
+
+(* --- the scope-indexed southbound API ------------------------------------ *)
 
 let enable_events _t nf filter action =
   send_request nf (Protocol.Enable_events { filter; action })
@@ -214,60 +309,139 @@ let enable_events _t nf filter action =
 let disable_events _t nf filter =
   send_request nf (Protocol.Disable_events { filter })
 
-let run_get t nf ?on_piece request =
-  let req, request = request (fresh_req t) in
-  let result = Proc.Ivar.create t.engine in
-  Hashtbl.replace t.pending req (Get { chunks = []; on_piece; result });
+let dead_result t err =
+  let ivar = Proc.Ivar.create t.engine in
+  Proc.Ivar.fill ivar (Error err);
+  ivar
+
+let start_call t nf ~req ~request ~pending_entry ~result =
+  Hashtbl.replace t.pending req pending_entry;
   send_request nf request;
-  Proc.Ivar.read result
+  match t.resilience with
+  | None -> ()
+  | Some r ->
+    supervise t nf ~req ~result ~resend:(fun () -> send_request nf request) r
+
+let get_async t nf ~scope ?on_piece ?(late_lock = false) ?(compress = false)
+    filter =
+  if not nf.live then
+    dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
+  else begin
+    let req = fresh_req t in
+    let stream = Option.is_some on_piece in
+    let request =
+      match (scope : Scope.t) with
+      | Scope.Per ->
+        Protocol.Get_perflow { req; filter; stream; late_lock; compress }
+      | Scope.Multi -> Protocol.Get_multiflow { req; filter; stream; compress }
+      | Scope.All -> Protocol.Get_allflows { req }
+    in
+    let result = Proc.Ivar.create t.engine in
+    start_call t nf ~req ~request
+      ~pending_entry:(Get { chunks = []; on_piece; result })
+      ~result;
+    result
+  end
+
+let put_async t nf ~scope chunks =
+  if not nf.live then
+    dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
+  else begin
+    let req = fresh_req t in
+    let request =
+      match (scope : Scope.t) with
+      | Scope.Per -> Protocol.Put_perflow { req; chunks }
+      | Scope.Multi -> Protocol.Put_multiflow { req; chunks }
+      | Scope.All -> Protocol.Put_allflows { req; chunks = List.map snd chunks }
+    in
+    let result = Proc.Ivar.create t.engine in
+    start_call t nf ~req ~request ~pending_entry:(Write result) ~result;
+    result
+  end
+
+let del_async t nf ~scope flowids =
+  match (scope : Scope.t) with
+  | Scope.All ->
+    (* All-flows state is always relevant; there is no delAllflows (§4.2). *)
+    dead_result t
+      (Op_error.Bad_spec { reason = "del is undefined for all-flows scope" })
+  | Scope.Per | Scope.Multi ->
+    if not nf.live then
+      dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
+    else begin
+      let req = fresh_req t in
+      let request =
+        match (scope : Scope.t) with
+        | Scope.Per -> Protocol.Del_perflow { req; flowids }
+        | Scope.Multi | Scope.All -> Protocol.Del_multiflow { req; flowids }
+      in
+      let result = Proc.Ivar.create t.engine in
+      start_call t nf ~req ~request ~pending_entry:(Write result) ~result;
+      result
+    end
+
+let get t nf ~scope ?on_piece ?late_lock ?compress filter =
+  Proc.Ivar.read (get_async t nf ~scope ?on_piece ?late_lock ?compress filter)
+
+let put t nf ~scope chunks = Proc.Ivar.read (put_async t nf ~scope chunks)
+let del t nf ~scope flowids = Proc.Ivar.read (del_async t nf ~scope flowids)
+
+let probe_async t nf =
+  if not nf.live then
+    dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
+  else begin
+    let req = fresh_req t in
+    let request = Protocol.Ping { req } in
+    let result = Proc.Ivar.create t.engine in
+    start_call t nf ~req ~request ~pending_entry:(Write result) ~result;
+    result
+  end
+
+let start_probes t ~until =
+  match t.resilience with
+  | None ->
+    invalid_arg "Controller.start_probes: no resilience config installed"
+  | Some r ->
+    Proc.spawn t.engine (fun () ->
+        let rec loop () =
+          Proc.sleep r.probe_period;
+          if Engine.now t.engine <= until then begin
+            (* Probe in name order for determinism; supervision marks
+               misses and flips liveness. *)
+            Hashtbl.fold (fun name _ acc -> name :: acc) t.nfs []
+            |> List.sort String.compare
+            |> List.iter (fun name ->
+                   let nf = Hashtbl.find t.nfs name in
+                   if nf.live then ignore (probe_async t nf));
+            loop ()
+          end
+        in
+        loop ())
+
+(* --- legacy per-scope wrappers (thin aliases) ----------------------------- *)
+
+let ok_exn = Op_error.ok_exn
 
 let get_perflow t nf filter ?on_piece ?(late_lock = false) ?(compress = false)
     () =
-  run_get t nf ?on_piece (fun req ->
-      ( req,
-        Protocol.Get_perflow
-          { req; filter; stream = Option.is_some on_piece; late_lock; compress }
-      ))
+  ok_exn (get t nf ~scope:Scope.Per ?on_piece ~late_lock ~compress filter)
 
 let get_multiflow t nf filter ?on_piece ?(compress = false) () =
-  run_get t nf ?on_piece (fun req ->
-      ( req,
-        Protocol.Get_multiflow
-          { req; filter; stream = Option.is_some on_piece; compress } ))
+  ok_exn (get t nf ~scope:Scope.Multi ?on_piece ~compress filter)
 
 let get_allflows t nf =
-  List.map snd
-    (run_get t nf (fun req -> (req, Protocol.Get_allflows { req })))
+  List.map snd (ok_exn (get t nf ~scope:Scope.All Filter.any))
 
-let run_write_async t nf request =
-  let req = fresh_req t in
-  let ivar = Proc.Ivar.create t.engine in
-  Hashtbl.replace t.pending req (Write ivar);
-  send_request nf (request req);
-  ivar
-
-let put_perflow_async t nf chunks =
-  run_write_async t nf (fun req -> Protocol.Put_perflow { req; chunks })
-
-let put_perflow t nf chunks = Proc.Ivar.read (put_perflow_async t nf chunks)
-
-let put_multiflow_async t nf chunks =
-  run_write_async t nf (fun req -> Protocol.Put_multiflow { req; chunks })
-
-let put_multiflow t nf chunks = Proc.Ivar.read (put_multiflow_async t nf chunks)
-
-let del_perflow_async t nf flowids =
-  run_write_async t nf (fun req -> Protocol.Del_perflow { req; flowids })
-
-let del_perflow t nf flowids = Proc.Ivar.read (del_perflow_async t nf flowids)
-
-let del_multiflow t nf flowids =
-  Proc.Ivar.read
-    (run_write_async t nf (fun req -> Protocol.Del_multiflow { req; flowids }))
+let put_perflow_async t nf chunks = put_async t nf ~scope:Scope.Per chunks
+let put_perflow t nf chunks = ok_exn (put t nf ~scope:Scope.Per chunks)
+let put_multiflow_async t nf chunks = put_async t nf ~scope:Scope.Multi chunks
+let put_multiflow t nf chunks = ok_exn (put t nf ~scope:Scope.Multi chunks)
+let del_perflow_async t nf flowids = del_async t nf ~scope:Scope.Per flowids
+let del_perflow t nf flowids = ok_exn (del t nf ~scope:Scope.Per flowids)
+let del_multiflow t nf flowids = ok_exn (del t nf ~scope:Scope.Multi flowids)
 
 let put_allflows t nf chunks =
-  Proc.Ivar.read
-    (run_write_async t nf (fun req -> Protocol.Put_allflows { req; chunks }))
+  ok_exn (put t nf ~scope:Scope.All (List.map (fun c -> (Filter.any, c)) chunks))
 
 (* --- subscriptions ------------------------------------------------------- *)
 

@@ -1,15 +1,26 @@
 (** The OpenNF controller: plumbing layer.
 
     Owns the channels to the SDN switch and to every attached NF,
-    provides blocking wrappers for the southbound API (callable from
-    simulation processes), event and packet-in subscriptions, and
-    OpenFlow-style rule management with barriers. The northbound
-    operations of §5 are built on top in {!Northbound}.
+    provides the scope-indexed southbound API (callable from simulation
+    processes), event and packet-in subscriptions, and OpenFlow-style
+    rule management with barriers. The northbound operations of §5 are
+    built on top in {!Move}, {!Copy_op}, {!Share} and {!Notify}.
 
     All inbound messages (NF replies, events, packet-ins, barrier
     replies) pass through a serial controller CPU whose per-message cost
     scales with message size — the bottleneck the paper identifies in
-    §8.3 ("threads are busy reading from sockets"). *)
+    §8.3 ("threads are busy reading from sockets").
+
+    {2 Resilience}
+
+    With a {!resilience} config installed, every southbound call gets a
+    deadline; missed deadlines are retried with exponential backoff
+    under the {e same} request id (so duplicate replies are ignored),
+    and [liveness_misses] consecutive misses declare the NF dead, firing
+    {!on_nf_death} callbacks. Without it (the default) the controller
+    behaves exactly as before: calls block until the reply arrives and
+    no timer events are scheduled, keeping fault-free runs bit-identical
+    to the legacy code. *)
 
 open Opennf_net
 open Opennf_state
@@ -28,15 +39,33 @@ type config = {
 
 val default_config : config
 
+type resilience = {
+  call_timeout : float;  (** Deadline per southbound call attempt (s). *)
+  max_retries : int;  (** Resends after the first attempt times out. *)
+  backoff : float;  (** First retry delay; doubles per retry. *)
+  liveness_misses : int;
+      (** Consecutive missed deadlines before the NF is declared dead. *)
+  probe_period : float;  (** Period of {!start_probes} heartbeats (s). *)
+}
+
+val default_resilience : resilience
+
+val call_budget : resilience -> float
+(** Worst-case wall-clock of one resilient call: all attempts time out
+    and every backoff is paid. Operations use it to bound rollback. *)
+
 type t
 type nf
 
 val create :
   Opennf_sim.Engine.t -> Audit.t -> switch:Switch.t -> ?config:config ->
-  unit -> t
+  ?faults:Opennf_sim.Faults.t -> ?resilience:resilience -> unit -> t
+(** [faults] is consulted by every control channel the controller
+    creates (switch and NF links), keyed by channel name. *)
 
 val engine : t -> Opennf_sim.Engine.t
 val audit : t -> Audit.t
+val resilience : t -> resilience option
 
 val attach : t -> Opennf_sb.Runtime.t -> nf
 (** Wire an NF into the controller. The NF must (separately) be attached
@@ -46,32 +75,98 @@ val nf_name : nf -> string
 val find_nf : t -> string -> nf option
 val messages_handled : t -> int
 
+(** {1 Liveness} *)
+
+val nf_alive : t -> nf -> bool
+(** False once the liveness monitor declared the NF dead. *)
+
+val on_nf_death : t -> (string -> unit) -> unit
+(** Register a callback fired (in its own process, so it may block) when
+    an NF is declared dead. Callbacks fire in registration order. *)
+
+val declare_nf_dead : t -> nf -> unit
+(** Force the liveness verdict (used by tests and by operations that
+    witness a crash directly). Idempotent. *)
+
+val probe_async : t -> nf -> (unit, Op_error.t) result Proc.Ivar.t
+(** Send a [Ping] through the NF's work queue; resolves [Ok ()] on the
+    ack, or a typed error under the resilience policy. Detects wedged
+    NFs, not just dead channels. *)
+
+val start_probes : t -> until:float -> unit
+(** Spawn a heartbeat process probing every live NF each [probe_period]
+    until virtual time [until] (bounded so the simulation quiesces).
+    Requires a resilience config; raises [Invalid_argument] without. *)
+
 (** {1 Southbound calls}
 
-    The [get_*]/[put_*]/[del_*] wrappers block the calling simulation
-    process until the NF replies, so northbound operations read like the
-    paper's pseudo-code. [enable_events]/[disable_events] are
+    One scope-indexed family replaces the per-scope triplets. The
+    blocking forms suspend the calling simulation process; the [_async]
+    forms return a result ivar immediately (used to pipeline puts behind
+    a streaming get). [enable_events]/[disable_events] are
     fire-and-forget, as in the paper. *)
 
 val enable_events : t -> nf -> Filter.t -> Opennf_sb.Protocol.event_action -> unit
 val disable_events : t -> nf -> Filter.t -> unit
+
+val get_async :
+  t -> nf -> scope:Scope.t ->
+  ?on_piece:(Filter.t -> Chunk.t -> unit) ->
+  ?late_lock:bool -> ?compress:bool -> Filter.t ->
+  ((Filter.t * Chunk.t) list, Op_error.t) result Proc.Ivar.t
+(** With [on_piece], the get streams (parallelizing optimization §5.1.3):
+    the callback fires at each arriving chunk (exactly once per flowid,
+    even under retries/duplication) and the resolved list contains all
+    of them. [late_lock] applies to [Per] scope only; [All] scope
+    ignores the filter and never streams. *)
+
+val put_async :
+  t -> nf -> scope:Scope.t -> (Filter.t * Chunk.t) list ->
+  (unit, Op_error.t) result Proc.Ivar.t
+
+val del_async :
+  t -> nf -> scope:Scope.t -> Filter.t list ->
+  (unit, Op_error.t) result Proc.Ivar.t
+(** [All] scope resolves [Error (Bad_spec _)]: all-flows state is always
+    relevant, so the API has no delete for it (§4.2). *)
+
+val get :
+  t -> nf -> scope:Scope.t ->
+  ?on_piece:(Filter.t -> Chunk.t -> unit) ->
+  ?late_lock:bool -> ?compress:bool -> Filter.t ->
+  ((Filter.t * Chunk.t) list, Op_error.t) result
+
+val put :
+  t -> nf -> scope:Scope.t -> (Filter.t * Chunk.t) list ->
+  (unit, Op_error.t) result
+
+val del :
+  t -> nf -> scope:Scope.t -> Filter.t list -> (unit, Op_error.t) result
+
+(** {2 Legacy per-scope wrappers}
+
+    Thin aliases over the scope-indexed API, kept for source
+    compatibility. They raise {!Op_error.Op_failed} on typed errors
+    (which cannot happen without a resilience config or fault
+    injection). *)
 
 val get_perflow :
   t -> nf -> Filter.t ->
   ?on_piece:(Filter.t -> Chunk.t -> unit) ->
   ?late_lock:bool -> ?compress:bool -> unit ->
   (Filter.t * Chunk.t) list
-(** With [on_piece], the get streams (parallelizing optimization §5.1.3):
-    the callback fires at each arriving chunk and the returned list
-    contains all of them once the NF finishes. *)
 
 val put_perflow : t -> nf -> (Filter.t * Chunk.t) list -> unit
 
-val put_perflow_async : t -> nf -> (Filter.t * Chunk.t) list -> unit Proc.Ivar.t
+val put_perflow_async :
+  t -> nf -> (Filter.t * Chunk.t) list ->
+  (unit, Op_error.t) result Proc.Ivar.t
 (** Non-blocking put used to pipeline puts behind a streaming get. *)
 
 val del_perflow : t -> nf -> Filter.t list -> unit
-val del_perflow_async : t -> nf -> Filter.t list -> unit Proc.Ivar.t
+
+val del_perflow_async :
+  t -> nf -> Filter.t list -> (unit, Op_error.t) result Proc.Ivar.t
 
 val get_multiflow :
   t -> nf -> Filter.t ->
@@ -79,7 +174,11 @@ val get_multiflow :
   (Filter.t * Chunk.t) list
 
 val put_multiflow : t -> nf -> (Filter.t * Chunk.t) list -> unit
-val put_multiflow_async : t -> nf -> (Filter.t * Chunk.t) list -> unit Proc.Ivar.t
+
+val put_multiflow_async :
+  t -> nf -> (Filter.t * Chunk.t) list ->
+  (unit, Op_error.t) result Proc.Ivar.t
+
 val del_multiflow : t -> nf -> Filter.t list -> unit
 val get_allflows : t -> nf -> Chunk.t list
 val put_allflows : t -> nf -> Chunk.t list -> unit

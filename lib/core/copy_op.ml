@@ -3,6 +3,8 @@ module Proc = Opennf_sim.Proc
 open Opennf_net
 open Opennf_state
 
+let ( let* ) = Result.bind
+
 type report = {
   cp_filter : Filter.t;
   cp_src : string;
@@ -22,14 +24,7 @@ let pp_report ppf r =
     (1000.0 *. duration r)
     r.chunks r.state_bytes
 
-let copy_stream t ~src ~dst ~filter ~parallel
-    ~(get :
-       Controller.t ->
-       Controller.nf ->
-       Filter.t ->
-       ?on_piece:(Filter.t -> Chunk.t -> unit) ->
-       unit ->
-       (Filter.t * Chunk.t) list) ~put_async ~put counters =
+let copy_stream t ~src ~dst ~scope ~filter ~parallel counters =
   let chunks_n, bytes = counters in
   let account chunks =
     chunks_n := !chunks_n + List.length chunks;
@@ -38,57 +33,113 @@ let copy_stream t ~src ~dst ~filter ~parallel
   in
   if parallel then begin
     let pending = ref [] in
-    let chunks =
-      get t src filter
+    let got =
+      Controller.get t src ~scope
         ~on_piece:(fun flowid chunk ->
-          pending := put_async t dst [ (flowid, chunk) ] :: !pending)
-        ()
+          pending :=
+            Controller.put_async t dst ~scope [ (flowid, chunk) ] :: !pending)
+        filter
     in
-    List.iter Proc.Ivar.read !pending;
-    account chunks
+    (* Drain pipelined puts even on failure so nothing dangles. *)
+    let first_err =
+      List.fold_left
+        (fun acc iv ->
+          match Proc.Ivar.read iv with
+          | Ok () -> acc
+          | Error e -> ( match acc with None -> Some e | Some _ -> acc))
+        None !pending
+    in
+    match (got, first_err) with
+    | (Error _ as e), _ -> e
+    | Ok _, Some e -> Error e
+    | Ok chunks, None ->
+      account chunks;
+      Ok ()
   end
   else begin
-    let chunks = get t src filter () in
-    if chunks <> [] then put t dst chunks;
-    account chunks
+    let* chunks = Controller.get t src ~scope filter in
+    let* () =
+      if chunks <> [] then Controller.put t dst ~scope chunks else Ok ()
+    in
+    account chunks;
+    Ok ()
   end
 
-let run t ~src ~dst ~filter ?(scope = [ Scope.Multi ]) ?(parallel = true) () =
+(* Copy never deletes at the source and never touches forwarding state,
+   so there is nothing to roll back: a failure simply reports which call
+   died. The destination may hold a partial import — harmless, since
+   imports merge and the next copy round completes it. *)
+let run t ~src ~dst ~filter ?(scope = [ Scope.Multi ]) ?options
+    ?(parallel = true) () =
+  let options =
+    match options with Some o -> o | None -> Op_options.make ~parallel ()
+  in
   let engine = Controller.engine t in
   let started = Engine.now engine in
+  let deadline_guard () =
+    match options.Op_options.deadline with
+    | None -> Ok ()
+    | Some d ->
+      if Engine.now engine -. started > d then
+        Error (Op_error.Timeout { nf = Controller.nf_name dst; after = d })
+      else Ok ()
+  in
+  let parallel = options.Op_options.parallel in
   let chunks_n = ref 0 and bytes = ref 0 in
-  if Scope.mem Scope.Per scope then
-    copy_stream t ~src ~dst ~filter ~parallel
-      ~get:(fun t nf filter ?on_piece () ->
-        Controller.get_perflow t nf filter ?on_piece ())
-      ~put_async:Controller.put_perflow_async ~put:Controller.put_perflow
-      (chunks_n, bytes);
-  if Scope.mem Scope.Multi scope then
-    copy_stream t ~src ~dst ~filter ~parallel
-      ~get:(fun t nf filter ?on_piece () ->
-        Controller.get_multiflow t nf filter ?on_piece ())
-      ~put_async:Controller.put_multiflow_async ~put:Controller.put_multiflow
-      (chunks_n, bytes);
-  if Scope.mem Scope.All scope then begin
-    let chunks = Controller.get_allflows t src in
-    if chunks <> [] then Controller.put_allflows t dst chunks;
-    chunks_n := !chunks_n + List.length chunks;
-    bytes := !bytes + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
-  end;
-  {
-    cp_filter = filter;
-    cp_src = Controller.nf_name src;
-    cp_dst = Controller.nf_name dst;
-    cp_scope = scope;
-    started;
-    finished = Engine.now engine;
-    chunks = !chunks_n;
-    state_bytes = !bytes;
-  }
+  let* () =
+    if Scope.mem Scope.Per scope then
+      copy_stream t ~src ~dst ~scope:Scope.Per ~filter ~parallel
+        (chunks_n, bytes)
+    else Ok ()
+  in
+  let* () = deadline_guard () in
+  let* () =
+    if Scope.mem Scope.Multi scope then
+      copy_stream t ~src ~dst ~scope:Scope.Multi ~filter ~parallel
+        (chunks_n, bytes)
+    else Ok ()
+  in
+  let* () = deadline_guard () in
+  let* () =
+    if Scope.mem Scope.All scope then begin
+      let* chunks = Controller.get t src ~scope:Scope.All Filter.any in
+      let* () =
+        if chunks <> [] then Controller.put t dst ~scope:Scope.All chunks
+        else Ok ()
+      in
+      chunks_n := !chunks_n + List.length chunks;
+      bytes :=
+        !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
+      Ok ()
+    end
+    else Ok ()
+  in
+  Ok
+    {
+      cp_filter = filter;
+      cp_src = Controller.nf_name src;
+      cp_dst = Controller.nf_name dst;
+      cp_scope = scope;
+      started;
+      finished = Engine.now engine;
+      chunks = !chunks_n;
+      state_bytes = !bytes;
+    }
 
-let start t ~src ~dst ~filter ?scope ?parallel () =
+let run_exn t ~src ~dst ~filter ?scope ?options ?parallel () =
+  Op_error.ok_exn (run t ~src ~dst ~filter ?scope ?options ?parallel ())
+
+let start t ~src ~dst ~filter ?scope ?options ?parallel () =
   let engine = Controller.engine t in
   let ivar = Proc.Ivar.create engine in
   Proc.spawn engine (fun () ->
-      Proc.Ivar.fill ivar (run t ~src ~dst ~filter ?scope ?parallel ()));
+      Proc.Ivar.fill ivar (run t ~src ~dst ~filter ?scope ?options ?parallel ()));
+  ivar
+
+let start_exn t ~src ~dst ~filter ?scope ?options ?parallel () =
+  let engine = Controller.engine t in
+  let ivar = Proc.Ivar.create engine in
+  Proc.spawn engine (fun () ->
+      Proc.Ivar.fill ivar
+        (run_exn t ~src ~dst ~filter ?scope ?options ?parallel ()));
   ivar

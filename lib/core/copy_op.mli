@@ -4,7 +4,10 @@
     source or touching forwarding state. Imports merge per the NF's
     semantics, so repeatedly copying yields eventual consistency;
     deciding {e when} to re-copy is the application's job (see
-    {!Notify}). *)
+    {!Notify}).
+
+    A copy has nothing to roll back: on a typed error the destination
+    may hold a partial import, which the next copy round completes. *)
 
 open Opennf_net
 open Opennf_state
@@ -30,11 +33,23 @@ val run :
   dst:Controller.nf ->
   filter:Filter.t ->
   ?scope:Scope.t list ->
+  ?options:Op_options.t ->
+  ?parallel:bool ->
+  unit ->
+  (report, Op_error.t) result
+(** Blocking. Defaults: scope [[Multi]] (the common case in §6),
+    [parallel] true. [options] overrides [parallel] when given. *)
+
+val run_exn :
+  Controller.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?options:Op_options.t ->
   ?parallel:bool ->
   unit ->
   report
-(** Blocking. Defaults: scope [[Multi]] (the common case in §6),
-    [parallel] true. *)
 
 val start :
   Controller.t ->
@@ -42,6 +57,20 @@ val start :
   dst:Controller.nf ->
   filter:Filter.t ->
   ?scope:Scope.t list ->
+  ?options:Op_options.t ->
+  ?parallel:bool ->
+  unit ->
+  (report, Op_error.t) result Proc.Ivar.t
+
+val start_exn :
+  Controller.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?options:Op_options.t ->
   ?parallel:bool ->
   unit ->
   report Proc.Ivar.t
+(** Like [start] but unwrapped; a typed error raises inside the spawned
+    process, so use only where faults are impossible. *)

@@ -1,5 +1,6 @@
 module Engine = Opennf_sim.Engine
 module Proc = Opennf_sim.Proc
+module Faults = Opennf_sim.Faults
 module Runtime = Opennf_sb.Runtime
 open Opennf_net
 
@@ -8,23 +9,30 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   ctrl : Controller.t;
+  faults : Faults.t;
   link_latency : float;
 }
 
 let create ?(seed = 1) ?config ?flow_mod_delay ?packet_out_rate
-    ?(link_latency = 0.0002) () =
+    ?(link_latency = 0.0002) ?fault_seed ?resilience () =
   let engine = Engine.create ~seed () in
   let audit = Audit.create engine in
+  let faults = Faults.create engine ?seed:fault_seed () in
   let switch =
     Switch.create engine audit ~name:"sw" ?flow_mod_delay ?packet_out_rate ()
   in
-  let ctrl = Controller.create engine audit ~switch ?config () in
-  { engine; audit; switch; ctrl; link_latency }
+  let ctrl =
+    Controller.create engine audit ~switch ?config ~faults ?resilience ()
+  in
+  { engine; audit; switch; ctrl; faults; link_latency }
 
 let add_nf t ~name ~impl ~costs =
-  let runtime = Runtime.create t.engine t.audit ~name ~impl ~costs () in
+  let runtime =
+    Runtime.create t.engine t.audit ~name ~impl ~costs ~faults:t.faults ()
+  in
   let port =
-    Channel.create t.engine ~latency:t.link_latency ~name:("sw->" ^ name) ()
+    Channel.create t.engine ~latency:t.link_latency ~faults:t.faults
+      ~name:("sw->" ^ name) ()
   in
   Channel.set_handler port (Runtime.receive runtime);
   Switch.attach_port t.switch ~name port;

@@ -3,7 +3,14 @@
     Mirrors the paper's evaluation setup (§8): an OpenFlow switch whose
     ports feed NF instances, an OpenNF controller connected to both, and
     traffic injected at the switch. Every experiment, test and example
-    builds on this module. *)
+    builds on this module.
+
+    Every fabric owns a {!Opennf_sim.Faults.t} handle, consulted by all
+    control channels, NF runtimes and switch ports it wires up. With no
+    fault profiles registered it draws no randomness and schedules no
+    events, so fault-free runs are bit-identical to a fabric without
+    it. Pass [resilience] to also arm the controller's deadline/retry/
+    liveness machinery. *)
 
 open Opennf_net
 module Engine = Opennf_sim.Engine
@@ -13,6 +20,7 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   ctrl : Controller.t;
+  faults : Opennf_sim.Faults.t;
   link_latency : float;
 }
 
@@ -22,9 +30,12 @@ val create :
   ?flow_mod_delay:float ->
   ?packet_out_rate:float ->
   ?link_latency:float ->
+  ?fault_seed:int ->
+  ?resilience:Controller.resilience ->
   unit ->
   t
-(** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}. *)
+(** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}, no
+    resilience policy (legacy blocking behavior). *)
 
 val add_nf :
   t ->

@@ -4,6 +4,8 @@ module Protocol = Opennf_sb.Protocol
 open Opennf_net
 open Opennf_state
 
+let ( let* ) = Result.bind
+
 type guarantee = No_guarantee | Loss_free | Order_preserving
 
 let pp_guarantee ppf g =
@@ -13,39 +15,63 @@ let pp_guarantee ppf g =
     | Loss_free -> "loss-free"
     | Order_preserving -> "loss-free+order-preserving")
 
+type phase =
+  | Transfer_started
+  | State_captured
+  | State_deleted
+  | State_installed
+  | Phase1_installed
+  | Phase2_installed
+
 type spec = {
   src : Controller.nf;
   dst : Controller.nf;
   filter : Filter.t;
   scope : Scope.t list;
   guarantee : guarantee;
-  parallel : bool;
-  early_release : bool;
-  compress : bool;
+  options : Op_options.t;
   disable_grace : float;
       (** How long after completion to disable the source's events
           (§5.1.1: "after several minutes" — long enough for stragglers
           in flight or queued at the source to drain). *)
+  on_phase : (phase -> unit) option;
 }
 
 let spec ~src ~dst ~filter ?(scope = [ Scope.Per ]) ?(guarantee = Loss_free)
-    ?(parallel = false) ?(early_release = false) ?(compress = false)
-    ?(disable_grace = 0.5) () =
-  if early_release && Scope.mem Scope.Per scope && Scope.mem Scope.Multi scope
+    ?options ?parallel ?early_release ?compress ?(disable_grace = 0.5)
+    ?on_phase () =
+  let options =
+    match options with
+    | Some o -> o
+    | None -> Op_options.make ?parallel ?early_release ?compress ()
+  in
+  { src; dst; filter; scope; guarantee; options; disable_grace; on_phase }
+
+let validate spec =
+  if
+    spec.options.Op_options.early_release
+    && Scope.mem Scope.Per spec.scope
+    && Scope.mem Scope.Multi spec.scope
   then
-    invalid_arg
-      "Move.spec: early release cannot combine per-flow and multi-flow \
-       scopes (§5.1.3)";
-  if early_release && Scope.mem Scope.All scope then
-    invalid_arg
-      "Move.spec: early release lets the source keep processing during \
-       the transfer, so it cannot give a consistent all-flows snapshot";
-  (* Early release only makes sense when chunks stream. *)
-  let parallel = parallel || early_release in
-  {
-    src; dst; filter; scope; guarantee; parallel; early_release; compress;
-    disable_grace;
-  }
+    Error
+      (Op_error.Bad_spec
+         {
+           reason =
+             "early release cannot combine per-flow and multi-flow scopes \
+              (§5.1.3)";
+         })
+  else if spec.options.Op_options.early_release && Scope.mem Scope.All spec.scope
+  then
+    Error
+      (Op_error.Bad_spec
+         {
+           reason =
+             "early release lets the source keep processing during the \
+              transfer, so it cannot give a consistent all-flows snapshot";
+         })
+  else Ok ()
+
+let fire spec phase = Option.iter (fun f -> f phase) spec.on_phase
 
 type report = {
   rp_filter : Filter.t;
@@ -72,23 +98,30 @@ let pp_report ppf r =
 
 (* Relay bookkeeping for loss-free moves: packets arriving at the source
    during the move reach the controller as events and are re-injected
-   toward the destination via packet-outs. *)
+   toward the destination via packet-outs. [dst_port] is mutable so a
+   rollback can redirect still-buffered packets to the survivor. *)
 type relay_state = {
   ctrl : Controller.t;
-  dst_port : string;
+  mutable dst_port : string;
   mark_do_not_buffer : bool;
   mutable buffering : bool;  (* Queue events until the put completes. *)
   global_q : Packet.t Queue.t;
   (* Early release: per-flow queues until that flow's chunk is put. *)
   flow_q : Packet.t Queue.t Flow.Table.t;
   released : unit Flow.Table.t;
+  (* Packet ids already relayed: a duplicated event message must not
+     become a duplicated packet at the destination. *)
+  seen : (int, unit) Hashtbl.t;
   mutable relayed : int;
 }
 
 let relay rs (p : Packet.t) =
-  if rs.mark_do_not_buffer then p.Packet.do_not_buffer <- true;
-  rs.relayed <- rs.relayed + 1;
-  Controller.packet_out rs.ctrl ~port:rs.dst_port p
+  if not (Hashtbl.mem rs.seen p.Packet.id) then begin
+    Hashtbl.replace rs.seen p.Packet.id ();
+    if rs.mark_do_not_buffer then p.Packet.do_not_buffer <- true;
+    rs.relayed <- rs.relayed + 1;
+    Controller.packet_out rs.ctrl ~port:rs.dst_port p
+  end
 
 let on_source_event rs ~early_release (p : Packet.t) =
   if early_release then begin
@@ -132,6 +165,20 @@ let flush_all rs =
     rs.flow_q;
   rs.buffering <- false
 
+(* Mid-operation progress, kept so a failure can roll back: chunks the
+   controller captured (and therefore still holds), and forwarding rules
+   installed by the two-phase update. *)
+type ctx = {
+  mutable per_got : (Filter.t * Chunk.t) list;
+  mutable multi_got : (Filter.t * Chunk.t) list;
+  mutable phase_cookies : int list;
+  mutable handoff_subs : Controller.subscription list;
+  mutable final_cookie : int option;
+      (* The [move_final_priority] rule toward the destination, if
+         already installed: it outranks the base route, so a rollback
+         must retire it or the survivor's route would never match. *)
+}
+
 (* Transfer all-flows state under the move's event protection. There is
    no delAllflows (all-flows state is always relevant, §4.2), so this is
    get + put; the destination merges. Doing it inside the move — after
@@ -139,67 +186,108 @@ let flush_all rs =
    consistent fingerprint store at the destination. *)
 let transfer_allflows t spec counters =
   let bytes, multi = counters in
-  let chunks = Controller.get_allflows t spec.src in
-  if chunks <> [] then Controller.put_allflows t spec.dst chunks;
-  multi := !multi + List.length chunks;
-  bytes := !bytes + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
-
-(* Transfer multi-flow state: get + del + put (§5.1). *)
-let transfer_multiflow t spec counters =
-  let bytes, multi = counters in
-  let chunks =
-    Controller.get_multiflow t spec.src spec.filter ~compress:spec.compress ()
+  let* chunks = Controller.get t spec.src ~scope:Scope.All Filter.any in
+  let* () =
+    if chunks <> [] then Controller.put t spec.dst ~scope:Scope.All chunks
+    else Ok ()
   in
-  Controller.del_multiflow t spec.src (List.map fst chunks);
-  if chunks <> [] then Controller.put_multiflow t spec.dst chunks;
   multi := !multi + List.length chunks;
   bytes :=
-    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
+  Ok ()
+
+(* Transfer multi-flow state: get + del + put (§5.1). *)
+let transfer_multiflow t spec ctx counters =
+  let bytes, multi = counters in
+  let* chunks =
+    Controller.get t spec.src ~scope:Scope.Multi
+      ~compress:spec.options.Op_options.compress spec.filter
+  in
+  ctx.multi_got <- chunks;
+  let* () = Controller.del t spec.src ~scope:Scope.Multi (List.map fst chunks) in
+  let* () =
+    if chunks <> [] then Controller.put t spec.dst ~scope:Scope.Multi chunks
+    else Ok ()
+  in
+  multi := !multi + List.length chunks;
+  bytes :=
+    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
+  Ok ()
 
 (* Transfer per-flow state, optionally pipelining puts behind the
    streaming get (the parallelizing optimization). [on_put_ack] fires as
    each chunk's put completes (used by early release). *)
-let transfer_perflow t spec ~late_lock ~on_put_ack counters =
+let transfer_perflow t spec ctx ~on_put_ack counters =
   let bytes, per = counters in
   let engine = Controller.engine t in
-  let chunks =
-    if spec.parallel then begin
+  let late_lock = spec.options.Op_options.early_release in
+  let compress = spec.options.Op_options.compress in
+  let* chunks =
+    if spec.options.Op_options.parallel then begin
       let pending = ref [] in
-      let chunks =
-        Controller.get_perflow t spec.src spec.filter ~late_lock
-          ~compress:spec.compress
+      let got =
+        Controller.get t spec.src ~scope:Scope.Per ~late_lock ~compress
           ~on_piece:(fun flowid chunk ->
             (* Each exported chunk is deleted at the source and put at
                the destination immediately (§5.1.3): the state is never
                live at both instances. *)
+            ctx.per_got <- (flowid, chunk) :: ctx.per_got;
             pending :=
-              Controller.del_perflow_async t spec.src [ flowid ] :: !pending;
+              Controller.del_async t spec.src ~scope:Scope.Per [ flowid ]
+              :: !pending;
             let ack =
-              Controller.put_perflow_async t spec.dst [ (flowid, chunk) ]
+              Controller.put_async t spec.dst ~scope:Scope.Per
+                [ (flowid, chunk) ]
             in
             pending := ack :: !pending;
             Proc.spawn engine (fun () ->
-                Proc.Ivar.read ack;
-                on_put_ack flowid))
-          ()
+                match Proc.Ivar.read ack with
+                | Ok () -> on_put_ack flowid
+                | Error _ -> ()))
+          spec.filter
       in
-      List.iter Proc.Ivar.read !pending;
-      chunks
+      (match got with Ok _ -> fire spec State_captured | Error _ -> ());
+      (* Drain the pipelined dels and puts even when something failed, so
+         no supervised call is left dangling past the rollback. *)
+      let first_err =
+        List.fold_left
+          (fun acc iv ->
+            match Proc.Ivar.read iv with
+            | Ok () -> acc
+            | Error e -> ( match acc with None -> Some e | Some _ -> acc))
+          None !pending
+      in
+      match (got, first_err) with
+      | (Error _ as e), _ -> e
+      | Ok _, Some e -> Error e
+      | Ok chunks, None ->
+        fire spec State_installed;
+        Ok chunks
     end
     else begin
-      let chunks =
-        Controller.get_perflow t spec.src spec.filter ~late_lock
-          ~compress:spec.compress ()
+      let* chunks =
+        Controller.get t spec.src ~scope:Scope.Per ~late_lock ~compress
+          spec.filter
       in
-      Controller.del_perflow t spec.src (List.map fst chunks);
-      if chunks <> [] then Controller.put_perflow t spec.dst chunks;
+      ctx.per_got <- chunks;
+      fire spec State_captured;
+      let* () =
+        Controller.del t spec.src ~scope:Scope.Per (List.map fst chunks)
+      in
+      fire spec State_deleted;
+      let* () =
+        if chunks <> [] then Controller.put t spec.dst ~scope:Scope.Per chunks
+        else Ok ()
+      in
+      fire spec State_installed;
       List.iter (fun (flowid, _) -> on_put_ack flowid) chunks;
-      chunks
+      Ok chunks
     end
   in
   per := !per + List.length chunks;
   bytes :=
-    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
+  Ok ()
 
 let reroute_final t spec =
   let filters =
@@ -213,10 +301,39 @@ let reroute_final t spec =
     ~filters ~actions:[ Flowtable.Forward (Controller.nf_name spec.dst) ];
   cookie
 
+(* Wait for the destination to process a specific packet. With a
+   resilience policy, the wait is chopped into call-sized slices; each
+   miss probes the destination through its work queue, so a dead or
+   wedged NF turns the wait into a typed error instead of a wedged
+   simulation. *)
+let wait_for_dst t spec ivar =
+  match Controller.resilience t with
+  | None ->
+    Proc.Ivar.read ivar;
+    Ok ()
+  | Some r ->
+    let dst_name = Controller.nf_name spec.dst in
+    let rec loop rounds =
+      match Proc.Ivar.read_timeout ivar ~timeout:r.Controller.call_timeout with
+      | Some () -> Ok ()
+      | None ->
+        if not (Controller.nf_alive t spec.dst) then
+          Error (Op_error.Nf_crashed { nf = dst_name })
+        else if rounds <= 0 then
+          Error
+            (Op_error.Timeout
+               { nf = dst_name; after = 10.0 *. r.Controller.call_timeout })
+        else (
+          match Proc.Ivar.read (Controller.probe_async t spec.dst) with
+          | Ok () -> loop (rounds - 1)
+          | Error e -> Error e)
+    in
+    loop 10
+
 (* The two-phase forwarding update plus destination handoff of Figure 6,
    with barriers in place of the paper's wait-for-first-packet (see the
    interface comment). *)
-let order_preserving_handoff t spec rs =
+let order_preserving_handoff t spec ctx =
   let engine = Controller.engine t in
   let dst_name = Controller.nf_name spec.dst in
   (* Track which packets dst has finished processing, so we can wait for
@@ -232,16 +349,18 @@ let order_preserving_handoff t spec rs =
           (match !waiting with
           | Some (id, ivar) when id = p.Packet.id ->
             waiting := None;
-            Proc.Ivar.fill ivar ()
+            ignore (Proc.Ivar.fill_if_empty ivar ())
           | Some _ | None -> ())
         | Protocol.Buffer | Protocol.Drop -> ())
   in
+  ctx.handoff_subs <- dst_sub :: ctx.handoff_subs;
   Controller.enable_events t spec.dst spec.filter Protocol.Buffer;
   (* Remember the most recent packet the switch copied to us. *)
   let last_packet = ref None in
   let pin_sub =
     Controller.subscribe_packet_in t spec.filter (fun p -> last_packet := Some p)
   in
+  ctx.handoff_subs <- pin_sub :: ctx.handoff_subs;
   let filters =
     if Filter.is_symmetric spec.filter then [ spec.filter ]
     else [ spec.filter; Filter.mirror spec.filter ]
@@ -254,36 +373,92 @@ let order_preserving_handoff t spec rs =
       [
         Flowtable.Forward (Controller.nf_name spec.src); Flowtable.To_controller;
       ];
+  ctx.phase_cookies <- cookie1 :: ctx.phase_cookies;
   Controller.barrier t;
+  fire spec Phase1_installed;
   (* Phase 2: directly to the destination. *)
   let cookie2 = Controller.fresh_cookie t in
   Controller.install_rule t ~cookie:cookie2
     ~priority:Controller.phase2_priority ~filters
     ~actions:[ Flowtable.Forward dst_name ];
+  ctx.phase_cookies <- cookie2 :: ctx.phase_cookies;
   Controller.barrier t;
+  fire spec Phase2_installed;
   (* The switch→controller channel is FIFO, so after the phase-2 barrier
      reply every phase-1 packet-in has been received: [!last_packet] is
      the true last packet forwarded toward the source. *)
-  (match !last_packet with
-  | None -> ()
-  | Some p ->
-    if not (Hashtbl.mem dst_processed p.Packet.id) then begin
-      let ivar = Proc.Ivar.create engine in
-      waiting := Some (p.Packet.id, ivar);
-      Proc.Ivar.read ivar
-    end);
+  let* () =
+    match !last_packet with
+    | None -> Ok ()
+    | Some p ->
+      if Hashtbl.mem dst_processed p.Packet.id then Ok ()
+      else begin
+        let ivar = Proc.Ivar.create engine in
+        waiting := Some (p.Packet.id, ivar);
+        wait_for_dst t spec ivar
+      end
+  in
   (* Release the packets buffered at the destination. *)
   Controller.disable_events t spec.dst spec.filter;
   (* Permanent route, then retire the phase rules. *)
-  let _final = reroute_final t spec in
+  ctx.final_cookie <- Some (reroute_final t spec);
   Controller.remove_rule t ~cookie:cookie1;
   Controller.remove_rule t ~cookie:cookie2;
   Controller.barrier t;
+  ctx.phase_cookies <- [];
   Controller.unsubscribe t dst_sub;
   Controller.unsubscribe t pin_sub;
-  ignore rs
+  ctx.handoff_subs <- [];
+  Ok ()
+
+(* Undo a failed move so no flow is left blackholed: give every chunk
+   the controller still holds to the surviving instance, redirect the
+   buffered packets there, retire any half-installed phase rules, and
+   point the base route at the survivor. *)
+let rollback t spec ctx rs ~src_sub err =
+  Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub;
+  List.iter (fun sub -> Controller.unsubscribe t sub) ctx.handoff_subs;
+  ctx.handoff_subs <- [];
+  let survivor =
+    if Controller.nf_alive t spec.src then spec.src else spec.dst
+  in
+  (* Re-install captured state on the survivor; put replaces existing
+     chunks, so this is idempotent even if some already landed there.
+     If the survivor fails too there is nobody left to roll back to. *)
+  (match ctx.multi_got with
+  | [] -> ()
+  | chunks -> ignore (Controller.put t survivor ~scope:Scope.Multi chunks));
+  (match ctx.per_got with
+  | [] -> ()
+  | chunks ->
+    ignore (Controller.put t survivor ~scope:Scope.Per (List.rev chunks)));
+  rs.dst_port <- Controller.nf_name survivor;
+  flush_all rs;
+  List.iter
+    (fun cookie -> Controller.remove_rule t ~cookie)
+    ctx.phase_cookies;
+  ctx.phase_cookies <- [];
+  (* The final-route rule outranks the base route: if it was already
+     installed toward the (dead) destination, retire it. *)
+  Option.iter (fun cookie -> Controller.remove_rule t ~cookie) ctx.final_cookie;
+  ctx.final_cookie <- None;
+  Controller.set_route t spec.filter survivor;
+  (* Stop any event generation the move turned on; the message to a dead
+     instance is harmless. *)
+  Controller.disable_events t spec.src spec.filter;
+  Controller.disable_events t spec.dst spec.filter;
+  Error err
+
+let deadline_guard engine ~started spec =
+  match spec.options.Op_options.deadline with
+  | None -> Ok ()
+  | Some d ->
+    if Engine.now engine -. started > d then
+      Error (Op_error.Timeout { nf = Controller.nf_name spec.dst; after = d })
+    else Ok ()
 
 let run t spec =
+  let* () = validate spec in
   let engine = Controller.engine t in
   let started = Engine.now engine in
   let bytes = ref 0 and per = ref 0 and multi = ref 0 in
@@ -297,7 +472,17 @@ let run t spec =
       global_q = Queue.create ();
       flow_q = Flow.Table.create 64;
       released = Flow.Table.create 64;
+      seen = Hashtbl.create 256;
       relayed = 0;
+    }
+  in
+  let ctx =
+    {
+      per_got = [];
+      multi_got = [];
+      phase_cookies = [];
+      handoff_subs = [];
+      final_cookie = None;
     }
   in
   let src_sub =
@@ -307,7 +492,8 @@ let run t spec =
            spec.filter (fun p disposition ->
              match disposition with
              | Protocol.Drop ->
-               on_source_event rs ~early_release:spec.early_release p
+               on_source_event rs
+                 ~early_release:spec.options.Op_options.early_release p
              | Protocol.Buffer | Protocol.Process -> ()))
     else None
   in
@@ -316,50 +502,93 @@ let run t spec =
      source); without this, moving flows back within the grace period
      would bounce packets between the instances forever. *)
   if lossfree then Controller.disable_events t spec.dst spec.filter;
-  if lossfree && not spec.early_release then
+  if lossfree && not spec.options.Op_options.early_release then
     Controller.enable_events t spec.src spec.filter Protocol.Drop;
-  if Scope.mem Scope.Multi spec.scope then
-    transfer_multiflow t spec (bytes, multi);
-  if Scope.mem Scope.All spec.scope then transfer_allflows t spec (bytes, multi);
-  if Scope.mem Scope.Per spec.scope then
-    transfer_perflow t spec ~late_lock:spec.early_release
-      ~on_put_ack:(fun flowid -> if spec.early_release then release_flow rs flowid)
-      (bytes, per);
-  if lossfree then flush_all rs;
-  (match spec.guarantee with
-  | No_guarantee | Loss_free ->
-    let _final = reroute_final t spec in
-    Controller.barrier t;
-    (* Disabling events on the source immediately would drop stragglers
-       still in flight or queued there; the paper issues the disable
-       "after several minutes" (§5.1.1). Here: after a grace period that
-       comfortably exceeds link and queueing delays. *)
-    if lossfree then
-      Proc.spawn engine (fun () ->
-          Proc.sleep spec.disable_grace;
-          Controller.disable_events t spec.src spec.filter;
-          Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub)
-  | Order_preserving ->
-    order_preserving_handoff t spec rs;
-    (* Safe here: the handoff waited for the destination to process the
-       last packet the switch ever sent toward the source. *)
-    Controller.disable_events t spec.src spec.filter;
-    Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub);
-  {
-    rp_filter = spec.filter;
-    rp_src = Controller.nf_name spec.src;
-    rp_dst = Controller.nf_name spec.dst;
-    rp_guarantee = spec.guarantee;
-    started;
-    finished = Engine.now engine;
-    per_chunks = !per;
-    multi_chunks = !multi;
-    state_bytes = !bytes;
-    relayed = rs.relayed;
-  }
+  fire spec Transfer_started;
+  let attempt =
+    let* () =
+      if Scope.mem Scope.Multi spec.scope then
+        transfer_multiflow t spec ctx (bytes, multi)
+      else Ok ()
+    in
+    let* () =
+      if Scope.mem Scope.All spec.scope then
+        transfer_allflows t spec (bytes, multi)
+      else Ok ()
+    in
+    let* () =
+      if Scope.mem Scope.Per spec.scope then
+        transfer_perflow t spec ctx
+          ~on_put_ack:(fun flowid ->
+            if spec.options.Op_options.early_release then release_flow rs flowid)
+          (bytes, per)
+      else Ok ()
+    in
+    let* () = deadline_guard engine ~started spec in
+    if lossfree then flush_all rs;
+    match spec.guarantee with
+    | No_guarantee | Loss_free ->
+      ctx.final_cookie <- Some (reroute_final t spec);
+      Controller.barrier t;
+      (* Disabling events on the source immediately would drop stragglers
+         still in flight or queued there; the paper issues the disable
+         "after several minutes" (§5.1.1). Here: after a grace period
+         that comfortably exceeds link and queueing delays. *)
+      if lossfree then
+        Proc.spawn engine (fun () ->
+            Proc.sleep spec.disable_grace;
+            Controller.disable_events t spec.src spec.filter;
+            Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub);
+      Ok ()
+    | Order_preserving ->
+      let* () = order_preserving_handoff t spec ctx in
+      (* Safe here: the handoff waited for the destination to process
+         the last packet the switch ever sent toward the source. *)
+      Controller.disable_events t spec.src spec.filter;
+      Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub;
+      Ok ()
+  in
+  (* With a resilience policy, confirm the destination outlived the
+     protocol before declaring success: a crash after the last message
+     of the handoff would otherwise leave the final route pointing at a
+     dead instance. *)
+  let attempt =
+    match attempt with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Controller.resilience t with
+      | None -> Ok ()
+      | Some _ -> Proc.Ivar.read (Controller.probe_async t spec.dst))
+  in
+  match attempt with
+  | Ok () ->
+    Ok
+      {
+        rp_filter = spec.filter;
+        rp_src = Controller.nf_name spec.src;
+        rp_dst = Controller.nf_name spec.dst;
+        rp_guarantee = spec.guarantee;
+        started;
+        finished = Engine.now engine;
+        per_chunks = !per;
+        multi_chunks = !multi;
+        state_bytes = !bytes;
+        relayed = rs.relayed;
+      }
+  | Error err -> rollback t spec ctx rs ~src_sub err
+
+let run_exn t spec = Op_error.ok_exn (run t spec)
 
 let start t spec =
   let engine = Controller.engine t in
   let ivar = Proc.Ivar.create engine in
   Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (run t spec));
+  ivar
+
+(* Raises inside the spawned process on a typed error; meant for
+   fault-free scenarios where that cannot happen. *)
+let start_exn t spec =
+  let engine = Controller.engine t in
+  let ivar = Proc.Ivar.create engine in
+  Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (run_exn t spec));
   ivar

@@ -19,13 +19,24 @@
       toward the source — a strengthening that is provably race-free on
       FIFO channels and never blocks on idle flows.
 
-    Optimizations (§5.1.3): [parallel] streams chunks from the get and
-    pipelines one put per chunk; [early_release] adds late locking (the
-    source starts raising events for a flow only when that flow's chunk
-    is captured) and per-flow release of buffered events as soon as that
-    flow's put is acknowledged. [early_release] implies [parallel] and,
-    per the paper, must not be combined with a move of both per-flow and
-    multi-flow scopes. *)
+    Optimizations (§5.1.3, {!Op_options.t}): [parallel] streams chunks
+    from the get and pipelines one put per chunk; [early_release] adds
+    late locking (the source starts raising events for a flow only when
+    that flow's chunk is captured) and per-flow release of buffered
+    events as soon as that flow's put is acknowledged. [early_release]
+    implies [parallel] and, per the paper, must not be combined with a
+    move of both per-flow and multi-flow scopes.
+
+    {2 Failure handling}
+
+    [run] returns [(report, Op_error.t) result]. A malformed spec is
+    [Error (Bad_spec _)] before any message is sent. If an instance dies
+    or a call times out mid-protocol (under the controller's resilience
+    policy), the move {e rolls back}: every chunk the controller still
+    holds is re-installed on the surviving instance, buffered packets
+    are flushed to it, half-installed phase rules are removed, and the
+    base route is pointed at the survivor — no flow is left blackholed.
+    The error is then reported as [Nf_crashed] or [Timeout]. *)
 
 open Opennf_net
 open Opennf_state
@@ -34,6 +45,17 @@ module Proc = Opennf_sim.Proc
 type guarantee = No_guarantee | Loss_free | Order_preserving
 
 val pp_guarantee : Format.formatter -> guarantee -> unit
+
+(** Observable protocol milestones, in order. [on_phase] hooks fire
+    synchronously as each is reached — fault-injection tests use them to
+    crash an instance at an exact protocol point. *)
+type phase =
+  | Transfer_started  (** Events armed; no state captured yet. *)
+  | State_captured  (** Per-flow get finished; controller holds chunks. *)
+  | State_deleted  (** Per-flow state deleted at the source. *)
+  | State_installed  (** Per-flow state acked by the destination. *)
+  | Phase1_installed  (** Two-phase update: src + controller rule live. *)
+  | Phase2_installed  (** Two-phase update: dst rule live. *)
 
 type spec = {
   src : Controller.nf;
@@ -45,14 +67,13 @@ type spec = {
           protection — giving the destination a snapshot consistent with
           exactly the packets the source processed. *)
   guarantee : guarantee;
-  parallel : bool;
-  early_release : bool;
-  compress : bool;
+  options : Op_options.t;
   disable_grace : float;
       (** Loss-free moves leave the source's drop-events enabled so
           in-flight stragglers keep being relayed; they are disabled
           this long after the move completes (the paper's "after
           several minutes", §5.1.1; default 0.5 s of virtual time). *)
+  on_phase : (phase -> unit) option;
 }
 
 val spec :
@@ -61,13 +82,18 @@ val spec :
   filter:Filter.t ->
   ?scope:Scope.t list ->
   ?guarantee:guarantee ->
+  ?options:Op_options.t ->
   ?parallel:bool ->
   ?early_release:bool ->
   ?compress:bool ->
   ?disable_grace:float ->
+  ?on_phase:(phase -> unit) ->
   unit ->
   spec
-(** Defaults: scope [[Per]], [Loss_free], optimizations off. *)
+(** Defaults: scope [[Per]], [Loss_free], optimizations off. [options]
+    overrides the individual optimization flags when given. Specs are
+    not validated here — an impossible combination surfaces as
+    [Error (Bad_spec _)] from {!run}. *)
 
 type report = {
   rp_filter : Filter.t;
@@ -85,8 +111,15 @@ type report = {
 val duration : report -> float
 val pp_report : Format.formatter -> report -> unit
 
-val run : Controller.t -> spec -> report
+val run : Controller.t -> spec -> (report, Op_error.t) result
 (** Blocking; call from a simulation process. *)
 
-val start : Controller.t -> spec -> report Proc.Ivar.t
-(** Spawn the move and return an ivar filled with its report. *)
+val run_exn : Controller.t -> spec -> report
+(** [run] unwrapped via {!Op_error.ok_exn}; for fault-free scenarios. *)
+
+val start : Controller.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
+(** Spawn the move and return an ivar filled with its result. *)
+
+val start_exn : Controller.t -> spec -> report Proc.Ivar.t
+(** Like [start] but unwrapped; a typed error raises inside the spawned
+    process, so use only where faults are impossible. *)

@@ -8,15 +8,22 @@ type handle = {
 }
 
 let enable t nf filter callback =
-  let sub =
-    Controller.subscribe_events t ~nf:(Controller.nf_name nf) filter
-      (fun packet disposition ->
-        match disposition with
-        | Protocol.Process -> callback packet
-        | Protocol.Buffer | Protocol.Drop -> ())
-  in
-  Controller.enable_events t nf filter Protocol.Process;
-  { nf; filter; sub }
+  if not (Controller.nf_alive t nf) then
+    Error (Op_error.Nf_crashed { nf = Controller.nf_name nf })
+  else begin
+    let sub =
+      Controller.subscribe_events t ~nf:(Controller.nf_name nf) filter
+        (fun packet disposition ->
+          match disposition with
+          | Protocol.Process -> callback packet
+          | Protocol.Buffer | Protocol.Drop -> ())
+    in
+    Controller.enable_events t nf filter Protocol.Process;
+    Ok { nf; filter; sub }
+  end
+
+let enable_exn t nf filter callback =
+  Op_error.ok_exn (enable t nf filter callback)
 
 let disable t handle =
   Controller.disable_events t handle.nf handle.filter;

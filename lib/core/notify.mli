@@ -9,9 +9,14 @@ open Opennf_net
 type handle
 
 val enable :
-  Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
+  Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) ->
+  (handle, Op_error.t) result
 (** [enable t inst filter callback]: events with action [process] are
     enabled on [inst]; the callback fires at the controller for every
-    matching packet the instance processes. *)
+    matching packet the instance processes. [Error (Nf_crashed _)] if
+    the instance is already known dead. *)
+
+val enable_exn :
+  Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
 
 val disable : Controller.t -> handle -> unit

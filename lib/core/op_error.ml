@@ -1,0 +1,23 @@
+type t =
+  | Nf_crashed of { nf : string }
+  | Timeout of { nf : string; after : float }
+  | Aborted of { reason : string }
+  | Bad_spec of { reason : string }
+
+exception Op_failed of t
+
+let pp ppf = function
+  | Nf_crashed { nf } -> Format.fprintf ppf "NF %s crashed" nf
+  | Timeout { nf; after } ->
+    Format.fprintf ppf "call to %s timed out after %.0fms" nf (1000.0 *. after)
+  | Aborted { reason } -> Format.fprintf ppf "operation aborted: %s" reason
+  | Bad_spec { reason } -> Format.fprintf ppf "bad spec: %s" reason
+
+let to_string t = Format.asprintf "%a" pp t
+
+let ok_exn = function Ok v -> v | Error e -> raise (Op_failed e)
+
+let () =
+  Printexc.register_printer (function
+    | Op_failed e -> Some ("Op_failed: " ^ to_string e)
+    | _ -> None)

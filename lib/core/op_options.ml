@@ -1,0 +1,14 @@
+type t = {
+  parallel : bool;
+  early_release : bool;
+  compress : bool;
+  deadline : float option;
+}
+
+let default =
+  { parallel = false; early_release = false; compress = false; deadline = None }
+
+let make ?(parallel = false) ?(early_release = false) ?(compress = false)
+    ?deadline () =
+  (* Early release only makes sense when chunks stream. *)
+  { parallel = parallel || early_release; early_release; compress; deadline }

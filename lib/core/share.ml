@@ -31,31 +31,36 @@ type t = {
 
 type stats = { updates_synced : int; packets_serialized : int }
 
+(* Synchronization tolerates dead instances: a failed get skips the
+   round (the next packet of the group retries), and a failed put to one
+   replica must not stop propagation to the others. *)
 let sync_group t nf =
   let others =
     List.filter
       (fun i -> Controller.nf_name i <> Controller.nf_name nf)
       t.instances
   in
-  let push get put_async flowid =
-    let chunks = get t.ctrl nf flowid () in
-    if chunks <> [] then
-      List.iter Proc.Ivar.read
-        (List.map (fun other -> put_async t.ctrl other chunks) others)
+  let push scope flowid =
+    match Controller.get t.ctrl nf ~scope flowid with
+    | Error _ -> ()
+    | Ok chunks ->
+      if chunks <> [] then
+        List.map (fun other -> Controller.put_async t.ctrl other ~scope chunks)
+          others
+        |> List.iter (fun iv -> ignore (Proc.Ivar.read iv))
   in
   fun group_flowid ->
-    if Scope.mem Scope.Per t.scope then
-      push
-        (fun c nf f () -> Controller.get_perflow c nf f ())
-        Controller.put_perflow_async group_flowid;
-    if Scope.mem Scope.Multi t.scope then
-      push
-        (fun c nf f () -> Controller.get_multiflow c nf f ())
-        Controller.put_multiflow_async group_flowid;
+    if Scope.mem Scope.Per t.scope then push Scope.Per group_flowid;
+    if Scope.mem Scope.Multi t.scope then push Scope.Multi group_flowid;
     if Scope.mem Scope.All t.scope then begin
-      let chunks = Controller.get_allflows t.ctrl nf in
-      if chunks <> [] then
-        List.iter (fun other -> Controller.put_allflows t.ctrl other chunks) others
+      match Controller.get t.ctrl nf ~scope:Scope.All Filter.any with
+      | Error _ -> ()
+      | Ok chunks ->
+        if chunks <> [] then
+          List.iter
+            (fun other ->
+              ignore (Controller.put t.ctrl other ~scope:Scope.All chunks))
+            others
     end;
     t.updates_synced <- t.updates_synced + 1
 
@@ -68,10 +73,24 @@ let rec drain t group =
     Hashtbl.replace t.completion pkt.Packet.id done_ivar;
     t.packets_serialized <- t.packets_serialized + 1;
     Controller.packet_out t.ctrl ~port:(Controller.nf_name nf) pkt;
-    Proc.Ivar.read done_ivar;
+    (* A dead instance never signals completion; with a resilience
+       policy, bound the wait so the group is not wedged forever. *)
+    let completed =
+      match Controller.resilience t.ctrl with
+      | None ->
+        Proc.Ivar.read done_ivar;
+        true
+      | Some r -> (
+        match
+          Proc.Ivar.read_timeout done_ivar
+            ~timeout:(Controller.call_budget r)
+        with
+        | Some () -> true
+        | None -> false)
+    in
     Hashtbl.remove t.completion pkt.Packet.id;
     (* State reads/updates at the instance are complete; propagate. *)
-    sync_group t nf group.flowid;
+    if completed then sync_group t nf group.flowid;
     drain t group
 
 let enqueue t nf pkt =
@@ -94,7 +113,8 @@ let on_event t nf (pkt : Packet.t) disposition =
   match disposition with
   | Protocol.Process -> (
     match Hashtbl.find_opt t.completion pkt.Packet.id with
-    | Some ivar -> Proc.Ivar.fill ivar ()
+    (* fill_if_empty: a duplicated event message must not double-fill. *)
+    | Some ivar -> ignore (Proc.Ivar.fill_if_empty ivar ())
     | None ->
       (* Strict mode: packets reach instances only through our replays,
          so an unknown Process event is a packet from before the share
@@ -110,67 +130,77 @@ let initial_sync t =
 
 let start ctrl ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of ?route
     ~consistency () =
-  if instances = [] then invalid_arg "Share.start: no instances";
-  let group_of =
-    match group_of with
-    | Some f -> f
-    | None -> fun (p : Packet.t) -> Filter.of_src_host p.Packet.key.Flow.src_ip
-  in
-  let strict_cookie =
-    match consistency with
-    | Strong -> None
-    | Strict -> Some (Controller.fresh_cookie ctrl)
-  in
-  let t =
-    {
-      ctrl;
-      instances;
-      filter;
-      scope;
-      group_of;
-      consistency;
-      groups = Hashtbl.create 16;
-      completion = Hashtbl.create 64;
-      subs = [];
-      strict_cookie;
-      updates_synced = 0;
-      packets_serialized = 0;
-    }
-  in
-  (* Subscribe to events from every instance. *)
-  t.subs <-
-    List.map
-      (fun nf ->
-        Controller.subscribe_events ctrl ~nf:(Controller.nf_name nf) filter
-          (on_event t nf))
-      instances;
-  (match consistency with
-  | Strong ->
-    List.iter
-      (fun nf -> Controller.enable_events ctrl nf filter Protocol.Drop)
-      instances
-  | Strict ->
-    List.iter
-      (fun nf -> Controller.enable_events ctrl nf filter Protocol.Process)
-      instances;
-    (* Divert matching traffic to the controller so it observes the true
-       arrival order. *)
-    let route = match route with Some r -> r | None -> fun _ -> List.hd instances in
-    let sub =
-      Controller.subscribe_packet_in ctrl filter (fun p ->
-          enqueue t (route p) p)
+  if instances = [] then
+    Error (Op_error.Bad_spec { reason = "Share.start: no instances" })
+  else begin
+    let group_of =
+      match group_of with
+      | Some f -> f
+      | None ->
+        fun (p : Packet.t) -> Filter.of_src_host p.Packet.key.Flow.src_ip
     in
-    t.subs <- sub :: t.subs;
-    let filters =
-      if Filter.is_symmetric filter then [ filter ]
-      else [ filter; Filter.mirror filter ]
+    let strict_cookie =
+      match consistency with
+      | Strong -> None
+      | Strict -> Some (Controller.fresh_cookie ctrl)
     in
-    Controller.install_rule ctrl
-      ~cookie:(Option.get strict_cookie)
-      ~priority:strict_priority ~filters ~actions:[ Flowtable.To_controller ];
-    Controller.barrier ctrl);
-  initial_sync t;
-  t
+    let t =
+      {
+        ctrl;
+        instances;
+        filter;
+        scope;
+        group_of;
+        consistency;
+        groups = Hashtbl.create 16;
+        completion = Hashtbl.create 64;
+        subs = [];
+        strict_cookie;
+        updates_synced = 0;
+        packets_serialized = 0;
+      }
+    in
+    (* Subscribe to events from every instance. *)
+    t.subs <-
+      List.map
+        (fun nf ->
+          Controller.subscribe_events ctrl ~nf:(Controller.nf_name nf) filter
+            (on_event t nf))
+        instances;
+    (match consistency with
+    | Strong ->
+      List.iter
+        (fun nf -> Controller.enable_events ctrl nf filter Protocol.Drop)
+        instances
+    | Strict ->
+      List.iter
+        (fun nf -> Controller.enable_events ctrl nf filter Protocol.Process)
+        instances;
+      (* Divert matching traffic to the controller so it observes the true
+         arrival order. *)
+      let route =
+        match route with Some r -> r | None -> fun _ -> List.hd instances
+      in
+      let sub =
+        Controller.subscribe_packet_in ctrl filter (fun p ->
+            enqueue t (route p) p)
+      in
+      t.subs <- sub :: t.subs;
+      let filters =
+        if Filter.is_symmetric filter then [ filter ]
+        else [ filter; Filter.mirror filter ]
+      in
+      Controller.install_rule ctrl
+        ~cookie:(Option.get strict_cookie)
+        ~priority:strict_priority ~filters ~actions:[ Flowtable.To_controller ];
+      Controller.barrier ctrl);
+    initial_sync t;
+    Ok t
+  end
+
+let start_exn ctrl ~instances ~filter ?scope ?group_of ?route ~consistency () =
+  Op_error.ok_exn
+    (start ctrl ~instances ~filter ?scope ?group_of ?route ~consistency ())
 
 let stats (t : t) : stats =
   {

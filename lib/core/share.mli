@@ -16,8 +16,12 @@
       [route]; synchronization proceeds as for [Strong].
 
     Flow grouping defaults to the source host, the paper's running
-    example (per-host connection counters). Stop a share with
-    {!stop}. *)
+    example (per-host connection counters). Stop a share with {!stop}.
+
+    A share degrades rather than wedges when an instance dies: waits for
+    completion events are bounded by the controller's resilience policy,
+    failed gets skip the sync round, and failed puts to one replica do
+    not stop propagation to the others. *)
 
 open Opennf_net
 open Opennf_state
@@ -42,10 +46,22 @@ val start :
   ?route:(Packet.t -> Controller.nf) ->
   consistency:consistency ->
   unit ->
-  t
+  (t, Op_error.t) result
 (** Blocking (performs the initial state synchronization). [route] is
     required for [Strict] (defaults to the first instance). [scope]
-    defaults to [[Multi]]. *)
+    defaults to [[Multi]]. An empty instance list is
+    [Error (Bad_spec _)]. *)
+
+val start_exn :
+  Controller.t ->
+  instances:Controller.nf list ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?group_of:(Packet.t -> Filter.t) ->
+  ?route:(Packet.t -> Controller.nf) ->
+  consistency:consistency ->
+  unit ->
+  t
 
 val stats : t -> stats
 

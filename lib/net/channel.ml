@@ -1,30 +1,58 @@
+module Faults = Opennf_sim.Faults
+
 type 'a t = {
   engine : Opennf_sim.Engine.t;
   latency : float;
   bandwidth : float option;
   name : string;
+  faults : Faults.t option;
   mutable handler : ('a -> int -> unit) option;
+  early : ('a * int) Queue.t;
+      (** Deliveries that came due before a handler was installed. *)
   mutable busy_until : float;  (** Sender-side serialization. *)
   mutable last_delivery : float;  (** Enforces FIFO delivery. *)
   mutable sent_count : int;
   mutable bytes_sent : int;
+  mutable dropped_count : int;
 }
 
-let create engine ~latency ?bandwidth ~name () =
+let create engine ~latency ?bandwidth ?faults ~name () =
   {
     engine;
     latency;
     bandwidth;
     name;
+    faults;
     handler = None;
+    early = Queue.create ();
     busy_until = 0.0;
     last_delivery = 0.0;
     sent_count = 0;
     bytes_sent = 0;
+    dropped_count = 0;
   }
 
-let set_handler t f = t.handler <- Some (fun msg _size -> f msg)
-let set_handler_with_size t f = t.handler <- Some f
+let drain_early t =
+  match t.handler with
+  | None -> ()
+  | Some f ->
+    while not (Queue.is_empty t.early) do
+      let msg, size = Queue.pop t.early in
+      f msg size
+    done
+
+let set_handler t f =
+  t.handler <- Some (fun msg _size -> f msg);
+  drain_early t
+
+let set_handler_with_size t f =
+  t.handler <- Some f;
+  drain_early t
+
+let deliver t msg size =
+  match t.handler with
+  | Some f -> f msg size
+  | None -> Queue.push (msg, size) t.early
 
 let send t ?(size = 0) msg =
   let module Engine = Opennf_sim.Engine in
@@ -36,16 +64,28 @@ let send t ?(size = 0) msg =
     | Some bw -> float_of_int size /. bw
   in
   t.busy_until <- start +. tx_time;
-  let delivery = Float.max (t.busy_until +. t.latency) t.last_delivery in
-  t.last_delivery <- delivery;
   t.sent_count <- t.sent_count + 1;
   t.bytes_sent <- t.bytes_sent + size;
-  Engine.schedule_at t.engine delivery (fun () ->
-      match t.handler with
-      | Some f -> f msg size
-      | None ->
-        invalid_arg (Printf.sprintf "Channel %s: no handler installed" t.name))
+  match t.faults with
+  | None ->
+    let delivery = Float.max (t.busy_until +. t.latency) t.last_delivery in
+    t.last_delivery <- delivery;
+    Engine.schedule_at t.engine delivery (fun () -> deliver t msg size)
+  | Some faults ->
+    let copies, jitter = Faults.plan faults ~link:t.name in
+    (* Jitter raises [last_delivery] too, so delivery order still equals
+       send order (congestion, not reordering). *)
+    let delivery =
+      Float.max (t.busy_until +. t.latency +. jitter) t.last_delivery
+    in
+    t.last_delivery <- delivery;
+    if copies = 0 then t.dropped_count <- t.dropped_count + 1
+    else
+      for _ = 1 to copies do
+        Engine.schedule_at t.engine delivery (fun () -> deliver t msg size)
+      done
 
 let name t = t.name
 let sent_count t = t.sent_count
 let bytes_sent t = t.bytes_sent
+let dropped_count t = t.dropped_count

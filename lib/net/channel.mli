@@ -4,7 +4,12 @@
     (controller ↔ switch, controller ↔ NF). Delivery time accounts for
     propagation latency and optional serialization at a byte bandwidth;
     delivery order always equals send order (FIFO), which the
-    order-preserving move protocol relies on. *)
+    order-preserving move protocol relies on.
+
+    When a {!Opennf_sim.Faults.t} is wired in, each send consults the
+    channel's fault profile (by channel [name]): messages may be
+    dropped, duplicated, or delayed by FIFO-preserving jitter. Without
+    one, behaviour is exactly fault-free and fully deterministic. *)
 
 type 'a t
 
@@ -12,13 +17,15 @@ val create :
   Opennf_sim.Engine.t ->
   latency:float ->
   ?bandwidth:float ->
+  ?faults:Opennf_sim.Faults.t ->
   name:string ->
   unit ->
   'a t
 (** [bandwidth] is bytes/second; omitted means infinite. *)
 
 val set_handler : 'a t -> ('a -> unit) -> unit
-(** Must be called before the first delivery is due. *)
+(** Installs the delivery handler. Deliveries that came due earlier are
+    buffered and handed to the new handler immediately, in order. *)
 
 val set_handler_with_size : 'a t -> ('a -> int -> unit) -> unit
 (** Like [set_handler], but the handler also receives the wire size the
@@ -32,3 +39,6 @@ val send : 'a t -> ?size:int -> 'a -> unit
 val name : 'a t -> string
 val sent_count : 'a t -> int
 val bytes_sent : 'a t -> int
+
+val dropped_count : 'a t -> int
+(** Messages discarded by fault injection on this channel. *)

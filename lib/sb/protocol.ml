@@ -24,6 +24,7 @@ type request =
   | Del_multiflow of { req : int; flowids : Filter.t list }
   | Get_allflows of { req : int }
   | Put_allflows of { req : int; chunks : Chunk.t list }
+  | Ping of { req : int }
 
 type reply =
   | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }
@@ -41,7 +42,7 @@ let chunks_size chunks =
   List.fold_left (fun acc (_, c) -> acc + Chunk.size c + 32) 0 chunks
 
 let request_size = function
-  | Enable_events _ | Disable_events _ -> message_overhead
+  | Enable_events _ | Disable_events _ | Ping _ -> message_overhead
   | Get_perflow _ | Get_multiflow _ | Get_allflows _ -> message_overhead
   | Put_perflow { chunks; _ } | Put_multiflow { chunks; _ } ->
     message_overhead + chunks_size chunks

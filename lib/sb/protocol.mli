@@ -34,6 +34,9 @@ type request =
   | Del_multiflow of { req : int; flowids : Filter.t list }
   | Get_allflows of { req : int }
   | Put_allflows of { req : int; chunks : Chunk.t list }
+  | Ping of { req : int }
+      (** Liveness probe; answered with [Ack] through the NF's normal
+          southbound work queue, so a wedged NF fails to answer. *)
 
 type reply =
   | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }

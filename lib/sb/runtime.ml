@@ -18,6 +18,7 @@ type t = {
   name : string;
   impl : Nf_api.impl;
   costs : Costs.t;
+  faults : Opennf_sim.Faults.t option;
   (* Packet path: two queues consumed by one worker; [release_q] (packets
      freed from event buffers) has priority so released packets are
      processed before later direct arrivals. *)
@@ -43,14 +44,19 @@ let name t = t.name
 let impl t = t.impl
 let costs t = t.costs
 
+let alive t =
+  match t.faults with
+  | None -> true
+  | Some f -> Opennf_sim.Faults.alive f ~node:t.name
+
 let send_reply t ?size reply =
   match t.to_ctrl with
-  | Some chan ->
+  | Some chan when alive t ->
     let size =
       match size with Some s -> s | None -> Protocol.reply_size reply
     in
     Channel.send chan ~size reply
-  | None -> ()
+  | Some _ | None -> ()
 
 let raise_event t (p : Packet.t) disposition =
   Audit.log_evented t.audit p ~nf:t.name;
@@ -79,9 +85,12 @@ let process t (p : Packet.t) =
   t.in_service <- Some done_ivar;
   let penalty = if t.busy_ops > 0 then 1.0 +. t.costs.Costs.export_penalty else 1.0 in
   Proc.sleep (t.costs.Costs.proc_time *. penalty);
-  t.impl.Nf_api.process_packet p;
-  t.processed <- t.processed + 1;
-  Audit.log_process t.audit p ~nf:t.name;
+  (* A crash while the packet was on the CPU loses it mid-flight. *)
+  if alive t then begin
+    t.impl.Nf_api.process_packet p;
+    t.processed <- t.processed + 1;
+    Audit.log_process t.audit p ~nf:t.name
+  end;
   t.in_service <- None;
   Proc.Ivar.fill done_ivar ()
 
@@ -124,7 +133,15 @@ let wake_worker t =
 
 let worker_loop t () =
   let rec loop () =
-    if not (Queue.is_empty t.release_q) then begin
+    if not (alive t) then begin
+      (* Crashed or hung: leave queued packets where they are and stall;
+         a hang's recovery wakes the worker via [receive]/[wake_worker]. *)
+      Proc.suspend (fun resume ->
+          assert (t.worker_wakeup = None);
+          t.worker_wakeup <- Some resume);
+      loop ()
+    end
+    else if not (Queue.is_empty t.release_q) then begin
       dispose t (Queue.pop t.release_q);
       loop ()
     end
@@ -266,6 +283,7 @@ let handle_op t (req : Protocol.request) =
     wait_for_service t;
     List.iter t.impl.Nf_api.delete_multiflow flowids;
     send_reply t (Protocol.Ack { req })
+  | Protocol.Ping { req } -> send_reply t (Protocol.Ack { req })
   | Protocol.Enable_events _ | Protocol.Disable_events _ ->
     assert false (* handled inline in [control] *)
 
@@ -288,14 +306,19 @@ let disable_events t filter =
   wake_worker t
 
 let control t (req : Protocol.request) =
-  match req with
-  | Protocol.Enable_events { filter; action } -> add_event_filter t filter action
-  | Protocol.Disable_events { filter } -> disable_events t filter
-  | _ -> Proc.Mailbox.send t.work req
+  Option.iter
+    (fun f -> Opennf_sim.Faults.note_op f ~node:t.name)
+    t.faults;
+  if alive t then
+    match req with
+    | Protocol.Enable_events { filter; action } ->
+      add_event_filter t filter action
+    | Protocol.Disable_events { filter } -> disable_events t filter
+    | _ -> Proc.Mailbox.send t.work req
 
 let set_controller t chan = t.to_ctrl <- Some chan
 
-let create engine audit ~name ~impl ~costs () =
+let create engine audit ~name ~impl ~costs ?faults () =
   let t =
     {
       engine;
@@ -303,6 +326,7 @@ let create engine audit ~name ~impl ~costs () =
       name;
       impl;
       costs;
+      faults;
       input_q = Queue.create ();
       release_q = Queue.create ();
       worker_wakeup = None;
@@ -321,7 +345,9 @@ let create engine audit ~name ~impl ~costs () =
   Proc.spawn engine (fun () ->
       let rec loop () =
         let req = Proc.Mailbox.recv t.work in
-        handle_op t req;
+        (* A dead NF drains its queue silently: the op neither runs nor
+           is answered, so the controller's deadline fires. *)
+        if alive t then handle_op t req;
         loop ()
       in
       loop ());

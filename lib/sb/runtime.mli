@@ -25,9 +25,13 @@ val create :
   name:string ->
   impl:Nf_api.impl ->
   costs:Costs.t ->
+  ?faults:Opennf_sim.Faults.t ->
   unit ->
   t
-(** Starts the worker processes immediately. *)
+(** Starts the worker processes immediately. With [faults], the runtime
+    consults the fault plan: once its node is crashed (or while hung) it
+    stops processing packets, ignores southbound requests and sends no
+    replies. *)
 
 val name : t -> string
 val impl : t -> Nf_api.impl

@@ -58,6 +58,13 @@ module Ivar = struct
         (fun resume -> Engine.schedule t.engine ~delay:0.0 resume)
         (List.rev waiters)
 
+  let fill_if_empty t v =
+    match t.state with
+    | Full _ -> false
+    | Empty _ ->
+      fill t v;
+      true
+
   let is_filled t = match t.state with Full _ -> true | Empty _ -> false
   let peek t = match t.state with Full v -> Some v | Empty _ -> None
 
@@ -80,6 +87,30 @@ module Ivar = struct
       (match t.state with
       | Full v -> v
       | Empty _ -> assert false)
+
+  let read_timeout t ~timeout =
+    (match t.state with
+    | Full _ -> ()
+    | Empty _ -> (
+      try
+        perform
+          (Suspend
+             (fun resume ->
+               (* Resume on whichever comes first — the fill or the
+                  timer — and make the loser a no-op. *)
+               let resumed = ref false in
+               let once () =
+                 if not !resumed then begin
+                   resumed := true;
+                   resume ()
+                 end
+               in
+               (match t.state with
+               | Full _ -> Engine.schedule t.engine ~delay:0.0 once
+               | Empty waiters -> t.state <- Empty (once :: waiters));
+               Engine.schedule t.engine ~delay:timeout once))
+      with Effect.Unhandled _ -> raise Not_in_process));
+    peek t
 end
 
 module Mailbox = struct

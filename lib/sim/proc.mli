@@ -38,10 +38,20 @@ module Ivar : sig
       resumed at the current virtual time (after currently queued
       events). *)
 
+  val fill_if_empty : 'a t -> 'a -> bool
+  (** Like {!fill} but a no-op on an already-filled ivar; returns
+      whether the value was written. Duplicate-reply tolerance: a
+      retried request may be answered twice. *)
+
   val is_filled : 'a t -> bool
   val peek : 'a t -> 'a option
   val read : 'a t -> 'a
   (** Block the calling process until the ivar is filled. *)
+
+  val read_timeout : 'a t -> timeout:float -> 'a option
+  (** Block until the ivar is filled or [timeout] virtual seconds pass,
+      whichever comes first; [None] on timeout. The deadline mechanism
+      behind the controller's resilient southbound calls. *)
 end
 
 module Mailbox : sig

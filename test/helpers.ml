@@ -22,8 +22,8 @@ type testbed = {
 
 (* Two PRADS instances; [flows] flows at [rate] pps routed to nf1. *)
 let prads_pair ?(seed = 7) ?(flows = 50) ?(rate = 1000.0) ?(duration = 2.0)
-    ?packet_out_rate () =
-  let fab = Fabric.create ~seed ?packet_out_rate () in
+    ?packet_out_rate ?resilience () =
+  let fab = Fabric.create ~seed ?packet_out_rate ?resilience () in
   let prads1 = Opennf_nfs.Prads.create () in
   let prads2 = Opennf_nfs.Prads.create () in
   let nf1, rt1 =

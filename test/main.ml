@@ -19,4 +19,5 @@ let () =
       ("apps", Test_apps.suite);
       ("trace", Test_trace.suite);
       ("properties", Test_props.suite);
+      ("faults", Test_faults.suite);
     ]

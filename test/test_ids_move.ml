@@ -51,7 +51,7 @@ let inject_download fab gen body =
 let upgrade fab nf1 nf2 ~guarantee =
   Helpers.run_at fab ~at:0.5 (fun () ->
       ignore
-        (Move.run fab.Fabric.ctrl
+        (Move.run_exn fab.Fabric.ctrl
            (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any ~guarantee
               ~parallel:true ())))
 

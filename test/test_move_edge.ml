@@ -19,7 +19,7 @@ let test_op_move_of_idle_flows_completes () =
   let finished_at = ref infinity in
   H.run_with tb ~at:2.0 (fun () ->
       let report =
-        Move.run tb.H.fab.ctrl
+        Move.run_exn tb.H.fab.ctrl
           (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
              ~guarantee:Move.Order_preserving ())
       in
@@ -33,7 +33,7 @@ let test_move_with_no_matching_state () =
   let tb = H.prads_pair ~flows:5 () in
   H.run_with tb ~at:1.0 (fun () ->
       let report =
-        Move.run tb.H.fab.ctrl
+        Move.run_exn tb.H.fab.ctrl
           (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2
              ~filter:(Filter.of_src_host (ip 203 0 113 250))
              ~guarantee:Move.Loss_free ())
@@ -49,12 +49,12 @@ let test_ping_pong_move () =
   let tb = H.prads_pair ~flows:10 ~rate:500.0 ~duration:4.0 () in
   H.run_with tb ~at:1.0 (fun () ->
       ignore
-        (Move.run tb.H.fab.ctrl
+        (Move.run_exn tb.H.fab.ctrl
            (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
               ~guarantee:Move.Loss_free ~parallel:true ()));
       Proc.sleep 1.0;
       ignore
-        (Move.run tb.H.fab.ctrl
+        (Move.run_exn tb.H.fab.ctrl
            (Move.spec ~src:tb.H.nf2 ~dst:tb.H.nf1 ~filter:Filter.any
               ~guarantee:Move.Loss_free ~parallel:true ())));
   Alcotest.(check int) "state home again" 10
@@ -71,12 +71,12 @@ let test_concurrent_disjoint_moves () =
   let half_b = Filter.of_src_prefix (Ipaddr.Prefix.of_string "10.1.0.128/25") in
   H.run_with tb ~at:1.0 (fun () ->
       let m1 =
-        Move.start tb.H.fab.ctrl
+        Move.start_exn tb.H.fab.ctrl
           (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:half_a
              ~guarantee:Move.Loss_free ~parallel:true ())
       in
       let m2 =
-        Move.start tb.H.fab.ctrl
+        Move.start_exn tb.H.fab.ctrl
           (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:half_b
              ~guarantee:Move.Loss_free ~parallel:true ())
       in
@@ -91,7 +91,7 @@ let test_compressed_move_is_still_loss_free () =
   let tb = H.prads_pair ~flows:30 () in
   H.run_with tb ~at:1.0 (fun () ->
       ignore
-        (Move.run tb.H.fab.ctrl
+        (Move.run_exn tb.H.fab.ctrl
            (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
               ~guarantee:Move.Loss_free ~parallel:true ~compress:true ())));
   H.assert_loss_free tb;
@@ -124,7 +124,7 @@ let test_move_under_source_overload () =
   Engine.schedule_at fab.engine 1.0 (fun () ->
       Proc.spawn fab.engine (fun () ->
           ignore
-            (Move.run fab.ctrl
+            (Move.run_exn fab.ctrl
                (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
                   ~guarantee:Move.Loss_free ~parallel:true ()))));
   Fabric.run fab;
@@ -136,7 +136,7 @@ let test_move_report_accounting () =
   let tb = H.prads_pair ~flows:25 () in
   H.run_with tb ~at:1.0 (fun () ->
       let report =
-        Move.run tb.H.fab.ctrl
+        Move.run_exn tb.H.fab.ctrl
           (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
              ~scope:[ Opennf_state.Scope.Per; Opennf_state.Scope.Multi ]
              ~guarantee:Move.Loss_free ())
@@ -150,20 +150,22 @@ let test_move_report_accounting () =
 
 let test_spec_validation () =
   let tb = H.prads_pair () in
-  Alcotest.(check bool) "ER over both scopes rejected" true
-    (try
-       ignore
-         (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
-            ~scope:[ Opennf_state.Scope.Per; Opennf_state.Scope.Multi ]
-            ~early_release:true ());
-       false
-     with Invalid_argument _ -> true);
+  (* An impossible spec is a typed error from run, not an exception. *)
+  H.run_with tb ~at:1.0 (fun () ->
+      match
+        Move.run tb.H.fab.ctrl
+          (Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any
+             ~scope:[ Opennf_state.Scope.Per; Opennf_state.Scope.Multi ]
+             ~early_release:true ())
+      with
+      | Error (Op_error.Bad_spec _) -> ()
+      | Ok _ -> Alcotest.fail "ER over both scopes must be rejected"
+      | Error e -> Alcotest.fail ("unexpected error: " ^ Op_error.to_string e));
   (* ER implies parallel. *)
   let spec =
     Move.spec ~src:tb.H.nf1 ~dst:tb.H.nf2 ~filter:Filter.any ~early_release:true ()
   in
-  Alcotest.(check bool) "ER implies PL" true spec.Move.parallel;
-  Fabric.run tb.H.fab
+  Alcotest.(check bool) "ER implies PL" true spec.Move.options.Op_options.parallel
 
 let suite =
   [

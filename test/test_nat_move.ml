@@ -41,7 +41,7 @@ let test_lf_move_keeps_connections_valid () =
   let b = nat_pair () in
   Helpers.run_at b.fab ~at:1.0 (fun () ->
       ignore
-        (Move.run b.fab.ctrl
+        (Move.run_exn b.fab.ctrl
            (Move.spec ~src:b.nf1 ~dst:b.nf2 ~filter:Filter.any
               ~guarantee:Move.Loss_free ~parallel:true ())));
   (* Every mid-flow packet found a conntrack entry at the destination. *)

@@ -67,7 +67,7 @@ let run_case ~guarantee =
              it in the move's scope so the snapshot is taken after the
              source stops processing. *)
           ignore
-            (Move.run fab.ctrl
+            (Move.run_exn fab.ctrl
                (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any ~guarantee
                   ~scope:[ Opennf_state.Scope.Per; Opennf_state.Scope.All ]
                   ~parallel:true ()))));
