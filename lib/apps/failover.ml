@@ -5,6 +5,7 @@ open Opennf
 
 type t = {
   ctrl : Controller.t;
+  sched : Sched.t option;
   normal : Controller.nf;
   standby : Controller.nf;
   mutable handles : Notify.handle list;
@@ -13,6 +14,16 @@ type t = {
   mutable refreshing : Flow.Set.t;  (* Coalesce concurrent refreshes. *)
   mutable recovered_at : float option;
 }
+
+(* Refresh copies are independent background work; with a scheduler they
+   queue behind conflicting moves instead of racing them. *)
+let copy t ~filter ~scope =
+  match t.sched with
+  | None ->
+    Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby ~filter ~scope ()
+  | Some s ->
+    Proc.Ivar.read
+      (Copy_op.submit s ~src:t.normal ~dst:t.standby ~filter ~scope ())
 
 (* Copy the per-flow state for the event packet's flow to the standby
    (Figure 9, updateStandby); SYN/RST packets also update multi-flow
@@ -29,17 +40,11 @@ let update_standby t (p : Packet.t) =
         (* A refresh racing the primary's death must not take the app
            down: a failed copy is simply skipped (the standby keeps its
            previous, eventually-consistent snapshot). *)
-        (match
-           Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
-             ~filter:(Filter.of_key key) ~scope:[ Scope.Per ] ()
-         with
+        (match copy t ~filter:(Filter.of_key key) ~scope:[ Scope.Per ] with
         | Ok r1 ->
           t.bytes <- t.bytes + r1.Copy_op.state_bytes;
           if touches_counters then begin
-            match
-              Copy_op.run t.ctrl ~src:t.normal ~dst:t.standby
-                ~filter:host_filter ~scope:[ Scope.Multi ] ()
-            with
+            match copy t ~filter:host_filter ~scope:[ Scope.Multi ] with
             | Ok r2 -> t.bytes <- t.bytes + r2.Copy_op.state_bytes
             | Error _ -> ()
           end;
@@ -48,11 +53,12 @@ let update_standby t (p : Packet.t) =
         t.refreshing <- Flow.Set.remove key t.refreshing)
   end
 
-let init_standby ctrl ~normal ~standby
+let init_standby ctrl ?sched ~normal ~standby
     ?(local_net = Ipaddr.Prefix.of_string "10.0.0.0/8") () =
   let t =
     {
       ctrl;
+      sched;
       normal;
       standby;
       handles = [];
@@ -73,15 +79,13 @@ let init_standby ctrl ~normal ~standby
     ]
   in
   t.handles <-
-    List.map (fun filter -> Notify.enable_exn ctrl normal filter (update_standby t))
+    List.map
+      (fun filter -> Notify.enable_exn ?sched ctrl normal filter (update_standby t))
       triggers;
   (* Seed the standby's multi-flow state once; SYN/RST notifications keep
      the relevant parts fresh afterwards. *)
   Proc.spawn (Controller.engine ctrl) (fun () ->
-      match
-        Copy_op.run ctrl ~src:normal ~dst:standby ~filter:Filter.any
-          ~scope:[ Scope.Multi; Scope.All ] ()
-      with
+      match copy t ~filter:Filter.any ~scope:[ Scope.Multi; Scope.All ] with
       | Ok r -> t.bytes <- t.bytes + r.Copy_op.state_bytes
       | Error _ -> ());
   t

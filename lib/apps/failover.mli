@@ -15,6 +15,7 @@ type t
 
 val init_standby :
   Controller.t ->
+  ?sched:Sched.t ->
   normal:Controller.nf ->
   standby:Controller.nf ->
   ?local_net:Ipaddr.Prefix.t ->
@@ -22,7 +23,9 @@ val init_standby :
   t
 (** Registers the notifications. [local_net] (default 10.0.0.0/8) scopes
     the HTTP-request trigger, as in Figure 9 line 6. Multi-flow state is
-    copied up front so scan counters exist at the standby. *)
+    copied up front so scan counters exist at the standby. With [sched],
+    every refresh copy is admitted through the scheduler, so refreshes
+    queue behind conflicting moves instead of racing them. *)
 
 val fail_over : t -> filter:Filter.t -> unit
 (** Blocking: reroute matching traffic to the standby (the "normal"

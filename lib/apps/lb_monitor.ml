@@ -7,6 +7,7 @@ type sync_pair = { a : Controller.nf; b : Controller.nf }
 
 type t = {
   ctrl : Controller.t;
+  sched : Sched.t option;
   mutable assignment : (Controller.nf * Ipaddr.Prefix.t list) list;
   sync_period : float;
   mutable sync_pairs : sync_pair list;
@@ -16,10 +17,17 @@ type t = {
 
 let prefix_filter prefix = Filter.of_src_prefix prefix
 
-let create ctrl ~instances ?(sync_period = 60.0) () =
+let copy_exn t ~src ~dst ~filter ~scope =
+  match t.sched with
+  | None -> Copy_op.run_exn t.ctrl ~src ~dst ~filter ~scope ()
+  | Some s ->
+    Op_error.ok_exn (Proc.Ivar.read (Copy_op.submit s ~src ~dst ~filter ~scope ()))
+
+let create ctrl ?sched ~instances ?(sync_period = 60.0) () =
   let t =
     {
       ctrl;
+      sched;
       assignment = instances;
       sync_period;
       sync_pairs = [];
@@ -49,11 +57,11 @@ let start_sync_loop t pair =
         Proc.sleep t.sync_period;
         if not t.stopped then begin
           ignore
-            (Copy_op.run_exn t.ctrl ~src:pair.a ~dst:pair.b ~filter:Filter.any
-               ~scope:[ Scope.Multi ] ());
+            (copy_exn t ~src:pair.a ~dst:pair.b ~filter:Filter.any
+               ~scope:[ Scope.Multi ]);
           ignore
-            (Copy_op.run_exn t.ctrl ~src:pair.b ~dst:pair.a ~filter:Filter.any
-               ~scope:[ Scope.Multi ] ());
+            (copy_exn t ~src:pair.b ~dst:pair.a ~filter:Filter.any
+               ~scope:[ Scope.Multi ]);
           t.syncs <- t.syncs + 1;
           loop ()
         end
@@ -82,14 +90,17 @@ let move_prefix t prefix ~to_ =
     (* Copy (not move) the multi-flow state: scan counters are kept per
        <external IP, port> and may matter to flows of other prefixes. *)
     ignore
-      (Copy_op.run_exn t.ctrl ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Multi ]
-         ());
+      (copy_exn t ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Multi ]);
     (* Loss-free (but not order-preserving) move of the per-flow state:
        reordering only delays scan detection (§6). *)
+    let spec =
+      Move.spec ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Per ]
+        ~guarantee:Move.Loss_free ~parallel:true ()
+    in
     let report =
-      Move.run_exn t.ctrl
-        (Move.spec ~src:old_inst ~dst:to_ ~filter ~scope:[ Scope.Per ]
-           ~guarantee:Move.Loss_free ~parallel:true ())
+      match t.sched with
+      | None -> Move.run_exn t.ctrl spec
+      | Some s -> Op_error.ok_exn (Proc.Ivar.read (Move.submit s spec))
     in
     let target_known = List.exists (fun (nf, _) -> same_nf nf to_) t.assignment in
     t.assignment <-

@@ -12,6 +12,7 @@ type config = {
   sw_bandwidth : float option;
   msg_cost : float;
   msg_cost_per_byte : float;
+  sb_batch_bytes : int option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     sw_bandwidth = Some 600_000.0;
     msg_cost = 25e-6;
     msg_cost_per_byte = 0.35e-6;
+    sb_batch_bytes = None;
   }
 
 type resilience = {
@@ -104,6 +106,7 @@ type t = {
   final_cookies : int Filter.Table.t;
   mutable on_death : (string -> unit) list;
   mutable next_req : int;
+  mutable next_barrier : int;
   mutable next_cookie : int;
   mutable next_sub : int;
   mutable handled : int;
@@ -126,9 +129,9 @@ let iter_subs tbl f =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.iter (fun (_, sub) -> f sub)
 
-let dispatch t msg =
-  match msg with
-  | From_nf (Protocol.Piece { req; flowid; chunk }) -> (
+let rec dispatch_reply t (reply : Protocol.reply) =
+  match reply with
+  | Protocol.Piece { req; flowid; chunk } -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Get g) ->
       (* A retried or duplicated streaming get may replay a piece;
@@ -139,25 +142,33 @@ let dispatch t msg =
         Option.iter (fun f -> f flowid chunk) g.on_piece
       end
     | Some (Write _) | None -> ())
-  | From_nf (Protocol.Done { req; chunks }) -> (
+  | Protocol.Done { req; chunks } -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Get g) ->
       Hashtbl.remove t.pending req;
       ignore
         (Proc.Ivar.fill_if_empty g.result (Ok (List.rev g.chunks @ chunks)))
     | Some (Write _) | None -> ())
-  | From_nf (Protocol.Ack { req }) -> (
+  | Protocol.Ack { req } -> (
     match Hashtbl.find_opt t.pending req with
     | Some (Write ivar) ->
       Hashtbl.remove t.pending req;
       ignore (Proc.Ivar.fill_if_empty ivar (Ok ()))
     | Some (Get _) | None -> ())
-  | From_nf (Protocol.Event { nf; packet; disposition }) ->
+  | Protocol.Event { nf; packet; disposition } ->
     iter_subs t.event_subs (fun sub ->
         if
           String.equal sub.es_nf nf
           && Filter.matches_flow sub.es_filter packet.Packet.key
         then sub.es_callback packet disposition)
+  | Protocol.Batch_reply { items } ->
+    (* One inbound message, one msg_cost charge in [cpu_loop]; the
+       members dispatch in send order. *)
+    List.iter (dispatch_reply t) items
+
+let dispatch t msg =
+  match msg with
+  | From_nf reply -> dispatch_reply t reply
   | From_switch (Switch.Packet_in { packet; cookie = _ }) ->
     iter_subs t.pkt_in_subs (fun sub ->
         if Filter.matches_flow sub.ps_filter packet.Packet.key then
@@ -206,6 +217,7 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       final_cookies = Filter.Table.create 64;
       on_death = [];
       next_req = 0;
+      next_barrier = 0;
       next_cookie = 1;
       next_sub = 0;
       handled = 0;
@@ -236,6 +248,11 @@ let attach t runtime =
   Runtime.set_controller runtime from_nf;
   let nf = { nf_name = name; to_nf; runtime; misses = 0; live = true } in
   Hashtbl.replace t.nfs name nf;
+  (match t.config.sb_batch_bytes with
+  | None -> ()
+  | Some bytes ->
+    let msg = Protocol.Set_batching { bytes = Some bytes } in
+    Channel.send to_nf ~size:(Protocol.request_size msg) msg);
   nf
 
 let nf_name nf = nf.nf_name
@@ -315,6 +332,12 @@ let dead_result t err =
   ivar
 
 let start_call t nf ~req ~request ~pending_entry ~result =
+  (* Request ids come from one shared counter, so two in-flight calls can
+     never share a pending slot; a collision here means an id was reused
+     and replies would be mis-routed — fail loudly instead. *)
+  if Hashtbl.mem t.pending req then
+    invalid_arg
+      (Printf.sprintf "Controller: duplicate in-flight request id %d" req);
   Hashtbl.replace t.pending req pending_entry;
   send_request nf request;
   match t.resilience with
@@ -481,8 +504,12 @@ let install_rule t ~cookie ~priority ~filters ~actions =
 let remove_rule t ~cookie =
   Channel.send t.to_switch ~size:128 (Switch.Remove { cookie })
 
+(* Barrier ids are a separate namespace from southbound request ids:
+   they are matched in [t.barriers], never in [t.pending], so sharing
+   the request counter would only invite confusion. *)
 let barrier t =
-  let id = fresh_req t in
+  let id = t.next_barrier in
+  t.next_barrier <- t.next_barrier + 1;
   let ivar = Proc.Ivar.create t.engine in
   Hashtbl.replace t.barriers id ivar;
   Channel.send t.to_switch ~size:128 (Switch.Barrier { id });

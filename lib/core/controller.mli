@@ -35,6 +35,13 @@ type config = {
           flushes (the paper's switch sustains ~3000 packet-outs/s). *)
   msg_cost : float;  (** Controller CPU per inbound message (s). *)
   msg_cost_per_byte : float;  (** Additional CPU per inbound byte. *)
+  sb_batch_bytes : int option;
+      (** When set, every attached NF is told ([Set_batching]) to
+          coalesce streamed pieces into [Batch_reply] messages once the
+          buffered payload reaches this many bytes, so N concurrent
+          operations do not pay N× the per-message controller cost
+          (§8.3). [None] (the default) keeps the per-message wire
+          behaviour — and every virtual-time trace — exactly as before. *)
 }
 
 val default_config : config

@@ -1,4 +1,3 @@
-module Engine = Opennf_sim.Engine
 module Proc = Opennf_sim.Proc
 open Opennf_net
 open Opennf_state
@@ -24,47 +23,6 @@ let pp_report ppf r =
     (1000.0 *. duration r)
     r.chunks r.state_bytes
 
-let copy_stream t ~src ~dst ~scope ~filter ~parallel counters =
-  let chunks_n, bytes = counters in
-  let account chunks =
-    chunks_n := !chunks_n + List.length chunks;
-    bytes :=
-      !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
-  in
-  if parallel then begin
-    let pending = ref [] in
-    let got =
-      Controller.get t src ~scope
-        ~on_piece:(fun flowid chunk ->
-          pending :=
-            Controller.put_async t dst ~scope [ (flowid, chunk) ] :: !pending)
-        filter
-    in
-    (* Drain pipelined puts even on failure so nothing dangles. *)
-    let first_err =
-      List.fold_left
-        (fun acc iv ->
-          match Proc.Ivar.read iv with
-          | Ok () -> acc
-          | Error e -> ( match acc with None -> Some e | Some _ -> acc))
-        None !pending
-    in
-    match (got, first_err) with
-    | (Error _ as e), _ -> e
-    | Ok _, Some e -> Error e
-    | Ok chunks, None ->
-      account chunks;
-      Ok ()
-  end
-  else begin
-    let* chunks = Controller.get t src ~scope filter in
-    let* () =
-      if chunks <> [] then Controller.put t dst ~scope chunks else Ok ()
-    in
-    account chunks;
-    Ok ()
-  end
-
 (* Copy never deletes at the source and never touches forwarding state,
    so there is nothing to roll back: a failure simply reports which call
    died. The destination may hold a partial import — harmless, since
@@ -74,72 +32,51 @@ let run t ~src ~dst ~filter ?(scope = [ Scope.Multi ]) ?options
   let options =
     match options with Some o -> o | None -> Op_options.make ~parallel ()
   in
-  let engine = Controller.engine t in
-  let started = Engine.now engine in
-  let deadline_guard () =
-    match options.Op_options.deadline with
-    | None -> Ok ()
-    | Some d ->
-      if Engine.now engine -. started > d then
-        Error (Op_error.Timeout { nf = Controller.nf_name dst; after = d })
-      else Ok ()
-  in
+  let frame = Op_engine.start t ~options in
   let parallel = options.Op_options.parallel in
-  let chunks_n = ref 0 and bytes = ref 0 in
-  let* () =
-    if Scope.mem Scope.Per scope then
-      copy_stream t ~src ~dst ~scope:Scope.Per ~filter ~parallel
-        (chunks_n, bytes)
-    else Ok ()
+  let tally = Op_engine.tally () in
+  let guard () = Op_engine.deadline_guard frame ~nf:(Controller.nf_name dst) in
+  let copy sc =
+    Op_engine.transfer frame ~src ~dst ~scope:sc ~filter ~parallel tally
   in
-  let* () = deadline_guard () in
-  let* () =
-    if Scope.mem Scope.Multi scope then
-      copy_stream t ~src ~dst ~scope:Scope.Multi ~filter ~parallel
-        (chunks_n, bytes)
-    else Ok ()
-  in
-  let* () = deadline_guard () in
-  let* () =
-    if Scope.mem Scope.All scope then begin
-      let* chunks = Controller.get t src ~scope:Scope.All Filter.any in
-      let* () =
-        if chunks <> [] then Controller.put t dst ~scope:Scope.All chunks
-        else Ok ()
-      in
-      chunks_n := !chunks_n + List.length chunks;
-      bytes :=
-        !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
-      Ok ()
-    end
-    else Ok ()
-  in
+  let* () = if Scope.mem Scope.Per scope then copy Scope.Per else Ok () in
+  let* () = guard () in
+  let* () = if Scope.mem Scope.Multi scope then copy Scope.Multi else Ok () in
+  let* () = guard () in
+  let* () = if Scope.mem Scope.All scope then copy Scope.All else Ok () in
   Ok
     {
       cp_filter = filter;
       cp_src = Controller.nf_name src;
       cp_dst = Controller.nf_name dst;
       cp_scope = scope;
-      started;
-      finished = Engine.now engine;
-      chunks = !chunks_n;
-      state_bytes = !bytes;
+      started = frame.Op_engine.started;
+      finished = Op_engine.now frame;
+      chunks = tally.Op_engine.chunks;
+      state_bytes = tally.Op_engine.bytes;
     }
 
 let run_exn t ~src ~dst ~filter ?scope ?options ?parallel () =
   Op_error.ok_exn (run t ~src ~dst ~filter ?scope ?options ?parallel ())
 
 let start t ~src ~dst ~filter ?scope ?options ?parallel () =
-  let engine = Controller.engine t in
-  let ivar = Proc.Ivar.create engine in
-  Proc.spawn engine (fun () ->
-      Proc.Ivar.fill ivar (run t ~src ~dst ~filter ?scope ?options ?parallel ()));
-  ivar
+  Op_engine.background t (fun () ->
+      run t ~src ~dst ~filter ?scope ?options ?parallel ())
 
 let start_exn t ~src ~dst ~filter ?scope ?options ?parallel () =
-  let engine = Controller.engine t in
-  let ivar = Proc.Ivar.create engine in
-  Proc.spawn engine (fun () ->
-      Proc.Ivar.fill ivar
-        (run_exn t ~src ~dst ~filter ?scope ?options ?parallel ()));
-  ivar
+  Op_engine.background t (fun () ->
+      run_exn t ~src ~dst ~filter ?scope ?options ?parallel ())
+
+(* A copy reads the source, writes the destination and leaves
+   forwarding state alone. *)
+let footprint ~src ~dst ~filter =
+  Sched.Footprint.make ~filters:[ filter ]
+    ~reads:[ Controller.nf_name src ]
+    ~writes:[ Controller.nf_name dst ]
+    ()
+
+let submit sched ~src ~dst ~filter ?scope ?options ?parallel () =
+  Sched.submit sched
+    ~footprint:(footprint ~src ~dst ~filter)
+    (fun () ->
+      run (Sched.ctrl sched) ~src ~dst ~filter ?scope ?options ?parallel ())

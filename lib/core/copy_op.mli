@@ -74,3 +74,24 @@ val start_exn :
   report Proc.Ivar.t
 (** Like [start] but unwrapped; a typed error raises inside the spawned
     process, so use only where faults are impossible. *)
+
+val footprint :
+  src:Controller.nf -> dst:Controller.nf -> filter:Filter.t ->
+  Sched.Footprint.t
+(** What a copy touches: source read, destination written, no
+    forwarding changes. *)
+
+val submit :
+  Sched.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?options:Op_options.t ->
+  ?parallel:bool ->
+  unit ->
+  (report, Op_error.t) result Proc.Ivar.t
+(** Queue the copy on the scheduler; it runs once no conflicting
+    operation is ahead of it. Two copies out of the same source may
+    overlap (reads don't conflict); a copy conflicts with any move
+    touching the same instances and flows. *)

@@ -9,12 +9,13 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   ctrl : Controller.t;
+  sched : Sched.t;
   faults : Faults.t;
   link_latency : float;
 }
 
 let create ?(seed = 1) ?config ?flow_mod_delay ?packet_out_rate
-    ?(link_latency = 0.0002) ?fault_seed ?resilience () =
+    ?(link_latency = 0.0002) ?fault_seed ?resilience ?max_concurrent_ops () =
   let engine = Engine.create ~seed () in
   let audit = Audit.create engine in
   let faults = Faults.create engine ?seed:fault_seed () in
@@ -24,7 +25,8 @@ let create ?(seed = 1) ?config ?flow_mod_delay ?packet_out_rate
   let ctrl =
     Controller.create engine audit ~switch ?config ~faults ?resilience ()
   in
-  { engine; audit; switch; ctrl; faults; link_latency }
+  let sched = Sched.create ?max_concurrent:max_concurrent_ops ctrl in
+  { engine; audit; switch; ctrl; sched; faults; link_latency }
 
 let add_nf t ~name ~impl ~costs =
   let runtime =

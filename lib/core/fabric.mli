@@ -20,6 +20,9 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   ctrl : Controller.t;
+  sched : Sched.t;
+      (** Ready-made operation scheduler over [ctrl]; idle (and free)
+          until something is submitted to it. *)
   faults : Opennf_sim.Faults.t;
   link_latency : float;
 }
@@ -32,10 +35,12 @@ val create :
   ?link_latency:float ->
   ?fault_seed:int ->
   ?resilience:Controller.resilience ->
+  ?max_concurrent_ops:int ->
   unit ->
   t
 (** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}, no
-    resilience policy (legacy blocking behavior). *)
+    resilience policy (legacy blocking behavior), [max_concurrent_ops]
+    per {!Sched.create}. *)
 
 val add_nf :
   t ->

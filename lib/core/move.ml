@@ -167,10 +167,11 @@ let flush_all rs =
 
 (* Mid-operation progress, kept so a failure can roll back: chunks the
    controller captured (and therefore still holds), and forwarding rules
-   installed by the two-phase update. *)
+   installed by the two-phase update. The transfers themselves live in
+   {!Op_engine.transfer}; [per_got]/[multi_got] are its [record] sinks. *)
 type ctx = {
-  mutable per_got : (Filter.t * Chunk.t) list;
-  mutable multi_got : (Filter.t * Chunk.t) list;
+  per_got : (Filter.t * Chunk.t) list ref;  (* Newest first. *)
+  multi_got : (Filter.t * Chunk.t) list ref;
   mutable phase_cookies : int list;
   mutable handoff_subs : Controller.subscription list;
   mutable final_cookie : int option;
@@ -178,116 +179,6 @@ type ctx = {
          already installed: it outranks the base route, so a rollback
          must retire it or the survivor's route would never match. *)
 }
-
-(* Transfer all-flows state under the move's event protection. There is
-   no delAllflows (all-flows state is always relevant, §4.2), so this is
-   get + put; the destination merges. Doing it inside the move — after
-   events halt the source — is what gives NFs like the RE decoder a
-   consistent fingerprint store at the destination. *)
-let transfer_allflows t spec counters =
-  let bytes, multi = counters in
-  let* chunks = Controller.get t spec.src ~scope:Scope.All Filter.any in
-  let* () =
-    if chunks <> [] then Controller.put t spec.dst ~scope:Scope.All chunks
-    else Ok ()
-  in
-  multi := !multi + List.length chunks;
-  bytes :=
-    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
-  Ok ()
-
-(* Transfer multi-flow state: get + del + put (§5.1). *)
-let transfer_multiflow t spec ctx counters =
-  let bytes, multi = counters in
-  let* chunks =
-    Controller.get t spec.src ~scope:Scope.Multi
-      ~compress:spec.options.Op_options.compress spec.filter
-  in
-  ctx.multi_got <- chunks;
-  let* () = Controller.del t spec.src ~scope:Scope.Multi (List.map fst chunks) in
-  let* () =
-    if chunks <> [] then Controller.put t spec.dst ~scope:Scope.Multi chunks
-    else Ok ()
-  in
-  multi := !multi + List.length chunks;
-  bytes :=
-    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
-  Ok ()
-
-(* Transfer per-flow state, optionally pipelining puts behind the
-   streaming get (the parallelizing optimization). [on_put_ack] fires as
-   each chunk's put completes (used by early release). *)
-let transfer_perflow t spec ctx ~on_put_ack counters =
-  let bytes, per = counters in
-  let engine = Controller.engine t in
-  let late_lock = spec.options.Op_options.early_release in
-  let compress = spec.options.Op_options.compress in
-  let* chunks =
-    if spec.options.Op_options.parallel then begin
-      let pending = ref [] in
-      let got =
-        Controller.get t spec.src ~scope:Scope.Per ~late_lock ~compress
-          ~on_piece:(fun flowid chunk ->
-            (* Each exported chunk is deleted at the source and put at
-               the destination immediately (§5.1.3): the state is never
-               live at both instances. *)
-            ctx.per_got <- (flowid, chunk) :: ctx.per_got;
-            pending :=
-              Controller.del_async t spec.src ~scope:Scope.Per [ flowid ]
-              :: !pending;
-            let ack =
-              Controller.put_async t spec.dst ~scope:Scope.Per
-                [ (flowid, chunk) ]
-            in
-            pending := ack :: !pending;
-            Proc.spawn engine (fun () ->
-                match Proc.Ivar.read ack with
-                | Ok () -> on_put_ack flowid
-                | Error _ -> ()))
-          spec.filter
-      in
-      (match got with Ok _ -> fire spec State_captured | Error _ -> ());
-      (* Drain the pipelined dels and puts even when something failed, so
-         no supervised call is left dangling past the rollback. *)
-      let first_err =
-        List.fold_left
-          (fun acc iv ->
-            match Proc.Ivar.read iv with
-            | Ok () -> acc
-            | Error e -> ( match acc with None -> Some e | Some _ -> acc))
-          None !pending
-      in
-      match (got, first_err) with
-      | (Error _ as e), _ -> e
-      | Ok _, Some e -> Error e
-      | Ok chunks, None ->
-        fire spec State_installed;
-        Ok chunks
-    end
-    else begin
-      let* chunks =
-        Controller.get t spec.src ~scope:Scope.Per ~late_lock ~compress
-          spec.filter
-      in
-      ctx.per_got <- chunks;
-      fire spec State_captured;
-      let* () =
-        Controller.del t spec.src ~scope:Scope.Per (List.map fst chunks)
-      in
-      fire spec State_deleted;
-      let* () =
-        if chunks <> [] then Controller.put t spec.dst ~scope:Scope.Per chunks
-        else Ok ()
-      in
-      fire spec State_installed;
-      List.iter (fun (flowid, _) -> on_put_ack flowid) chunks;
-      Ok chunks
-    end
-  in
-  per := !per + List.length chunks;
-  bytes :=
-    !bytes + List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks;
-  Ok ()
 
 let reroute_final t spec =
   let filters =
@@ -425,10 +316,10 @@ let rollback t spec ctx rs ~src_sub err =
   (* Re-install captured state on the survivor; put replaces existing
      chunks, so this is idempotent even if some already landed there.
      If the survivor fails too there is nobody left to roll back to. *)
-  (match ctx.multi_got with
+  (match !(ctx.multi_got) with
   | [] -> ()
   | chunks -> ignore (Controller.put t survivor ~scope:Scope.Multi chunks));
-  (match ctx.per_got with
+  (match !(ctx.per_got) with
   | [] -> ()
   | chunks ->
     ignore (Controller.put t survivor ~scope:Scope.Per (List.rev chunks)));
@@ -449,19 +340,11 @@ let rollback t spec ctx rs ~src_sub err =
   Controller.disable_events t spec.dst spec.filter;
   Error err
 
-let deadline_guard engine ~started spec =
-  match spec.options.Op_options.deadline with
-  | None -> Ok ()
-  | Some d ->
-    if Engine.now engine -. started > d then
-      Error (Op_error.Timeout { nf = Controller.nf_name spec.dst; after = d })
-    else Ok ()
-
-let run t spec =
+let run ?notify_release t spec =
   let* () = validate spec in
   let engine = Controller.engine t in
-  let started = Engine.now engine in
-  let bytes = ref 0 and per = ref 0 and multi = ref 0 in
+  let frame = Op_engine.start t ~options:spec.options in
+  let per_tally = Op_engine.tally () and multi_tally = Op_engine.tally () in
   let lossfree = spec.guarantee <> No_guarantee in
   let rs =
     {
@@ -478,8 +361,8 @@ let run t spec =
   in
   let ctx =
     {
-      per_got = [];
-      multi_got = [];
+      per_got = ref [];
+      multi_got = ref [];
       phase_cookies = [];
       handoff_subs = [];
       final_cookie = None;
@@ -506,25 +389,45 @@ let run t spec =
     Controller.enable_events t spec.src spec.filter Protocol.Drop;
   fire spec Transfer_started;
   let attempt =
+    (* Multi-flow state moves with get + del + put (§5.1). *)
     let* () =
       if Scope.mem Scope.Multi spec.scope then
-        transfer_multiflow t spec ctx (bytes, multi)
+        Op_engine.transfer frame ~src:spec.src ~dst:spec.dst ~scope:Scope.Multi
+          ~filter:spec.filter ~delete:true
+          ~compress:spec.options.Op_options.compress ~record:ctx.multi_got
+          multi_tally
       else Ok ()
     in
+    (* All-flows state is get + put (no delAllflows, §4.2); the
+       destination merges. Doing it inside the move — after events halt
+       the source — is what gives NFs like the RE decoder a consistent
+       fingerprint store at the destination. *)
     let* () =
       if Scope.mem Scope.All spec.scope then
-        transfer_allflows t spec (bytes, multi)
+        Op_engine.transfer frame ~src:spec.src ~dst:spec.dst ~scope:Scope.All
+          ~filter:Filter.any multi_tally
       else Ok ()
     in
     let* () =
       if Scope.mem Scope.Per spec.scope then
-        transfer_perflow t spec ctx
+        Op_engine.transfer frame ~src:spec.src ~dst:spec.dst ~scope:Scope.Per
+          ~filter:spec.filter ~parallel:spec.options.Op_options.parallel
+          ~delete:true ~late_lock:spec.options.Op_options.early_release
+          ~compress:spec.options.Op_options.compress ~record:ctx.per_got
+          ~on_captured:(fun () -> fire spec State_captured)
+          ~on_deleted:(fun () -> fire spec State_deleted)
+          ~on_installed:(fun () -> fire spec State_installed)
           ~on_put_ack:(fun flowid ->
-            if spec.options.Op_options.early_release then release_flow rs flowid)
-          (bytes, per)
+            if spec.options.Op_options.early_release then begin
+              release_flow rs flowid;
+              Option.iter (fun f -> f flowid) notify_release
+            end)
+          per_tally
       else Ok ()
     in
-    let* () = deadline_guard engine ~started spec in
+    let* () =
+      Op_engine.deadline_guard frame ~nf:(Controller.nf_name spec.dst)
+    in
     if lossfree then flush_all rs;
     match spec.guarantee with
     | No_guarantee | Loss_free ->
@@ -568,27 +471,38 @@ let run t spec =
         rp_src = Controller.nf_name spec.src;
         rp_dst = Controller.nf_name spec.dst;
         rp_guarantee = spec.guarantee;
-        started;
-        finished = Engine.now engine;
-        per_chunks = !per;
-        multi_chunks = !multi;
-        state_bytes = !bytes;
+        started = frame.Op_engine.started;
+        finished = Op_engine.now frame;
+        per_chunks = per_tally.Op_engine.chunks;
+        multi_chunks = multi_tally.Op_engine.chunks;
+        state_bytes = per_tally.Op_engine.bytes + multi_tally.Op_engine.bytes;
         relayed = rs.relayed;
       }
   | Error err -> rollback t spec ctx rs ~src_sub err
 
 let run_exn t spec = Op_error.ok_exn (run t spec)
-
-let start t spec =
-  let engine = Controller.engine t in
-  let ivar = Proc.Ivar.create engine in
-  Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (run t spec));
-  ivar
+let start t spec = Op_engine.background t (fun () -> run t spec)
 
 (* Raises inside the spawned process on a typed error; meant for
    fault-free scenarios where that cannot happen. *)
-let start_exn t spec =
-  let engine = Controller.engine t in
-  let ivar = Proc.Ivar.create engine in
-  Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (run_exn t spec));
-  ivar
+let start_exn t spec = Op_engine.background t (fun () -> run_exn t spec)
+
+(* A move writes state on both instances (del at the source, put at the
+   destination) and rewrites the flows' forwarding state. *)
+let footprint spec =
+  Sched.Footprint.make ~filters:[ spec.filter ]
+    ~writes:[ Controller.nf_name spec.src; Controller.nf_name spec.dst ]
+    ~routes:true ()
+
+let submit sched spec =
+  let fp = footprint spec in
+  (* Early release shrinks the held footprint flow by flow: once a
+     flow's chunk is acked at the destination, an exact-flow waiter on
+     it may be admitted even though this move is still running. *)
+  let notify_release flowid =
+    match Filter.exact_key flowid with
+    | Some key -> Sched.release_flow sched ~footprint:fp key
+    | None -> ()
+  in
+  Sched.submit sched ~footprint:fp (fun () ->
+      run ~notify_release (Sched.ctrl sched) spec)

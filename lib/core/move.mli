@@ -111,8 +111,13 @@ type report = {
 val duration : report -> float
 val pp_report : Format.formatter -> report -> unit
 
-val run : Controller.t -> spec -> (report, Op_error.t) result
-(** Blocking; call from a simulation process. *)
+val run :
+  ?notify_release:(Filter.t -> unit) ->
+  Controller.t -> spec -> (report, Op_error.t) result
+(** Blocking; call from a simulation process. [notify_release] fires per
+    flow as its put is acknowledged under [early_release] (used by
+    {!submit} to shrink the scheduler footprint); plain callers omit
+    it. *)
 
 val run_exn : Controller.t -> spec -> report
 (** [run] unwrapped via {!Op_error.ok_exn}; for fault-free scenarios. *)
@@ -123,3 +128,12 @@ val start : Controller.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
 val start_exn : Controller.t -> spec -> report Proc.Ivar.t
 (** Like [start] but unwrapped; a typed error raises inside the spawned
     process, so use only where faults are impossible. *)
+
+val footprint : spec -> Sched.Footprint.t
+(** What the move touches: both instances written, the filter's flows
+    covered, forwarding state updated. *)
+
+val submit : Sched.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
+(** Queue the move on the scheduler; it runs once no conflicting
+    operation is ahead of it. Under [early_release], flows leave the
+    held footprint as their chunks land. *)

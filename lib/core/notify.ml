@@ -7,10 +7,11 @@ type handle = {
   sub : Controller.subscription;
 }
 
-let enable t nf filter callback =
-  if not (Controller.nf_alive t nf) then
-    Error (Op_error.Nf_crashed { nf = Controller.nf_name nf })
-  else begin
+let ( let* ) = Result.bind
+
+let enable ?sched t nf filter callback =
+  let act () =
+    let* () = Op_engine.ensure_alive t nf in
     let sub =
       Controller.subscribe_events t ~nf:(Controller.nf_name nf) filter
         (fun packet disposition ->
@@ -20,10 +21,22 @@ let enable t nf filter callback =
     in
     Controller.enable_events t nf filter Protocol.Process;
     Ok { nf; filter; sub }
-  end
+  in
+  match sched with
+  | None -> act ()
+  | Some s ->
+    (* The enable itself is a short read of the instance: route it
+       through the scheduler so events are not armed in the middle of a
+       conflicting write (e.g. a move of the same flows), but hold
+       nothing afterwards — notifications coexist with later ops. *)
+    Sched.run s
+      ~footprint:
+        (Sched.Footprint.make ~filters:[ filter ]
+           ~reads:[ Controller.nf_name nf ] ())
+      act
 
-let enable_exn t nf filter callback =
-  Op_error.ok_exn (enable t nf filter callback)
+let enable_exn ?sched t nf filter callback =
+  Op_error.ok_exn (enable ?sched t nf filter callback)
 
 let disable t handle =
   Controller.disable_events t handle.nf handle.filter;

@@ -9,14 +9,18 @@ open Opennf_net
 type handle
 
 val enable :
+  ?sched:Sched.t ->
   Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) ->
   (handle, Op_error.t) result
 (** [enable t inst filter callback]: events with action [process] are
     enabled on [inst]; the callback fires at the controller for every
     matching packet the instance processes. [Error (Nf_crashed _)] if
-    the instance is already known dead. *)
+    the instance is already known dead. With [sched], the enable is
+    admitted as a short read of the instance — it waits out conflicting
+    writes in flight but holds no footprint afterwards. *)
 
 val enable_exn :
+  ?sched:Sched.t ->
   Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
 
 val disable : Controller.t -> handle -> unit

@@ -1,0 +1,145 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+open Opennf_net
+open Opennf_state
+
+let ( let* ) = Result.bind
+
+(* --- chunk accounting ----------------------------------------------------- *)
+
+type tally = { mutable chunks : int; mutable bytes : int }
+
+let tally () = { chunks = 0; bytes = 0 }
+
+let chunk_bytes chunks =
+  List.fold_left (fun acc (_, c) -> acc + Chunk.size c) 0 chunks
+
+let account t chunks =
+  t.chunks <- t.chunks + List.length chunks;
+  t.bytes <- t.bytes + chunk_bytes chunks
+
+(* --- operation frame ------------------------------------------------------ *)
+
+type frame = {
+  ctrl : Controller.t;
+  engine : Engine.t;
+  started : float;
+  options : Op_options.t;
+}
+
+let start ctrl ~options =
+  let engine = Controller.engine ctrl in
+  { ctrl; engine; started = Engine.now engine; options }
+
+let now frame = Engine.now frame.engine
+
+let deadline_guard frame ~nf =
+  match frame.options.Op_options.deadline with
+  | None -> Ok ()
+  | Some d ->
+    if Engine.now frame.engine -. frame.started > d then
+      Error (Op_error.Timeout { nf; after = d })
+    else Ok ()
+
+(* --- small shared helpers ------------------------------------------------- *)
+
+let bad_spec reason = Error (Op_error.Bad_spec { reason })
+
+let ensure_alive ctrl nf =
+  if not (Controller.nf_alive ctrl nf) then
+    Error (Op_error.Nf_crashed { nf = Controller.nf_name nf })
+  else Ok ()
+
+let drain_pipelined pending =
+  List.fold_left
+    (fun acc iv ->
+      match Proc.Ivar.read iv with
+      | Ok () -> acc
+      | Error e -> ( match acc with None -> Some e | Some _ -> acc))
+    None pending
+
+let background ctrl f =
+  let engine = Controller.engine ctrl in
+  let ivar = Proc.Ivar.create engine in
+  Proc.spawn engine (fun () -> Proc.Ivar.fill ivar (f ()));
+  ivar
+
+let broadcast_put ctrl ~scope ~others chunks =
+  if chunks <> [] then
+    List.map (fun other -> Controller.put_async ctrl other ~scope chunks) others
+    |> List.iter (fun iv -> ignore (Proc.Ivar.read iv))
+
+(* --- the shared transfer core --------------------------------------------- *)
+
+let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
+    ?(delete = false) ?(late_lock = false) ?(compress = false) ?record
+    ?on_captured ?on_deleted ?on_installed ?on_put_ack tally =
+  let t = frame.ctrl in
+  let fire hook = Option.iter (fun f -> f ()) hook in
+  let* chunks =
+    match (scope : Scope.t) with
+    | Scope.All ->
+      (* All-flows state never streams, is never deleted (there is no
+         delAllflows, §4.2) and ignores the filter. *)
+      let* chunks = Controller.get t src ~scope:Scope.All Filter.any in
+      let* () =
+        if chunks <> [] then Controller.put t dst ~scope:Scope.All chunks
+        else Ok ()
+      in
+      Ok chunks
+    | Scope.Per | Scope.Multi ->
+      if parallel then begin
+        let pending = ref [] in
+        let got =
+          Controller.get t src ~scope ~late_lock ~compress
+            ~on_piece:(fun flowid chunk ->
+              (* Each exported chunk is (optionally) deleted at the
+                 source and put at the destination immediately (§5.1.3):
+                 the state is never live at both instances. *)
+              Option.iter (fun r -> r := (flowid, chunk) :: !r) record;
+              if delete then
+                pending :=
+                  Controller.del_async t src ~scope [ flowid ] :: !pending;
+              let ack = Controller.put_async t dst ~scope [ (flowid, chunk) ] in
+              pending := ack :: !pending;
+              match on_put_ack with
+              | None -> ()
+              | Some f ->
+                Proc.spawn frame.engine (fun () ->
+                    match Proc.Ivar.read ack with
+                    | Ok () -> f flowid
+                    | Error _ -> ()))
+            filter
+        in
+        (match got with Ok _ -> fire on_captured | Error _ -> ());
+        (* Drain the pipelined dels and puts even when something failed,
+           so no supervised call is left dangling past a rollback. *)
+        let first_err = drain_pipelined !pending in
+        match (got, first_err) with
+        | (Error _ as e), _ -> e
+        | Ok _, Some e -> Error e
+        | Ok chunks, None ->
+          fire on_installed;
+          Ok chunks
+      end
+      else begin
+        let* chunks = Controller.get t src ~scope ~late_lock ~compress filter in
+        Option.iter (fun r -> r := chunks) record;
+        fire on_captured;
+        let* () =
+          if delete then Controller.del t src ~scope (List.map fst chunks)
+          else Ok ()
+        in
+        if delete then fire on_deleted;
+        let* () =
+          if chunks <> [] then Controller.put t dst ~scope chunks else Ok ()
+        in
+        fire on_installed;
+        (match on_put_ack with
+        | None -> ()
+        | Some f -> List.iter (fun (flowid, _) -> f flowid) chunks);
+        Ok chunks
+      end
+  in
+  account tally chunks;
+  Ok ()

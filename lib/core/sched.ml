@@ -1,0 +1,188 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+open Opennf_net
+
+module Footprint = struct
+  type t = {
+    filters : Filter.t list;
+    reads : string list;
+    writes : string list;
+    routes : bool;
+    mutable released : Flow.key list;
+  }
+
+  let make ?(filters = []) ?(reads = []) ?(writes = []) ?(routes = false) () =
+    { filters; reads; writes; routes; released = [] }
+
+  let names_intersect a b = List.exists (fun x -> List.mem x b) a
+
+  (* Do the two footprints touch a common resource in a way where order
+     matters? Read/read never conflicts; everything else does. *)
+  let resources_clash a b =
+    (a.routes && b.routes)
+    || names_intersect a.writes b.writes
+    || names_intersect a.writes b.reads
+    || names_intersect a.reads b.writes
+
+  (* A candidate filter pinned to a flow the holder has already released
+     (early release: its chunk landed at the destination) is exempt —
+     that flow's state is no longer covered by the holder. *)
+  let filters_clash ~held ~cand =
+    List.exists
+      (fun cf ->
+        let exempt =
+          match Filter.exact_key cf with
+          | Some k -> List.exists (Flow.equal (Flow.canonical k)) held.released
+          | None -> false
+        in
+        (not exempt)
+        && List.exists (fun hf -> Filter.overlaps hf cf) held.filters)
+      cand.filters
+
+  (* Conflict = shared resource with a write (or competing route
+     updates) AND overlapping flow coverage: two moves between the same
+     pair of instances are fine as long as their filters are disjoint. *)
+  let conflicts ~held ~cand =
+    resources_clash held cand && filters_clash ~held ~cand
+
+  let release held key = held.released <- Flow.canonical key :: held.released
+end
+
+type entry = { id : int; footprint : Footprint.t; start : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  ctrl : Controller.t;
+  max_concurrent : int;
+  mutable active : entry list;  (** Admission order. *)
+  mutable waiting : entry list;  (** FIFO, oldest first. *)
+  mutable next_id : int;
+  mutable admitted : int;
+  mutable completed : int;
+  mutable peak_active : int;
+  mutable peak_waiting : int;
+}
+
+type stats = {
+  admitted : int;
+  completed : int;
+  peak_active : int;
+  peak_waiting : int;
+}
+
+let create ?(max_concurrent = 8) ctrl =
+  if max_concurrent < 1 then
+    invalid_arg "Sched.create: max_concurrent must be at least 1";
+  {
+    engine = Controller.engine ctrl;
+    ctrl;
+    max_concurrent;
+    active = [];
+    waiting = [];
+    next_id = 0;
+    admitted = 0;
+    completed = 0;
+    peak_active = 0;
+    peak_waiting = 0;
+  }
+
+let ctrl t = t.ctrl
+let active_count t = List.length t.active
+let waiting_count t = List.length t.waiting
+
+let stats (t : t) : stats =
+  {
+    admitted = t.admitted;
+    completed = t.completed;
+    peak_active = t.peak_active;
+    peak_waiting = t.peak_waiting;
+  }
+
+let blocked_by fp others =
+  List.exists (fun e -> Footprint.conflicts ~held:e.footprint ~cand:fp) others
+
+(* Admission scan, oldest waiter first. An entry is admitted when the
+   cap has room and it conflicts with no active operation AND no waiter
+   ahead of it in line — the latter keeps admission FIFO per conflict
+   class (a newcomer cannot jump a queue it conflicts with) while
+   letting it overtake unrelated queues. Entry ids grow monotonically
+   and the scan order is fixed, so admission is deterministic. *)
+let pump t =
+  let rec scan blocked = function
+    | [] -> List.rev blocked
+    | e :: rest ->
+      if List.length t.active >= t.max_concurrent then
+        List.rev_append blocked (e :: rest)
+      else if
+        blocked_by e.footprint t.active || blocked_by e.footprint blocked
+      then scan (e :: blocked) rest
+      else begin
+        t.active <- t.active @ [ e ];
+        t.admitted <- t.admitted + 1;
+        t.peak_active <- max t.peak_active (List.length t.active);
+        e.start ();
+        scan blocked rest
+      end
+  in
+  t.waiting <- scan [] t.waiting
+
+let enqueue t entry =
+  t.waiting <- t.waiting @ [ entry ];
+  t.peak_waiting <- max t.peak_waiting (List.length t.waiting);
+  pump t
+
+let retire t id =
+  t.active <- List.filter (fun e -> e.id <> id) t.active;
+  t.completed <- t.completed + 1;
+  pump t
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+let submit t ~footprint body =
+  let id = fresh_id t in
+  let ivar = Proc.Ivar.create t.engine in
+  let start () =
+    Proc.spawn t.engine (fun () ->
+        let result = body () in
+        (* Retire (and pump the queue) before resolving the ivar, so
+           waiters in line get the slot ahead of whatever the submitter
+           does next. *)
+        retire t id;
+        Proc.Ivar.fill ivar result)
+  in
+  enqueue t { id; footprint; start };
+  ivar
+
+let run t ~footprint body = Proc.Ivar.read (submit t ~footprint body)
+
+let release_flow t ~footprint key =
+  Footprint.release footprint key;
+  pump t
+
+(* --- long-lived holds (Share, Notify-style setups) ------------------------ *)
+
+type handle = {
+  h_id : int;
+  h_footprint : Footprint.t;
+  mutable h_held : bool;
+}
+
+let acquire t ~footprint =
+  let id = fresh_id t in
+  let admitted = Proc.Ivar.create t.engine in
+  let start () = Proc.Ivar.fill admitted () in
+  enqueue t { id; footprint; start };
+  Proc.Ivar.read admitted;
+  { h_id = id; h_footprint = footprint; h_held = true }
+
+let release t h =
+  if h.h_held then begin
+    h.h_held <- false;
+    retire t h.h_id
+  end
+
+let release_key t h key =
+  if h.h_held then release_flow t ~footprint:h.h_footprint key

@@ -25,6 +25,10 @@ type t = {
   completion : (int, unit Proc.Ivar.t) Hashtbl.t;
   mutable subs : Controller.subscription list;
   strict_cookie : int option;
+  hold : (Sched.t * Sched.handle) option;
+      (** Scheduler footprint held for the share's lifetime: the share
+          owns its instances' state continuously, so conflicting
+          operations must wait until {!stop}. *)
   mutable updates_synced : int;
   mutable packets_serialized : int;
 }
@@ -43,11 +47,7 @@ let sync_group t nf =
   let push scope flowid =
     match Controller.get t.ctrl nf ~scope flowid with
     | Error _ -> ()
-    | Ok chunks ->
-      if chunks <> [] then
-        List.map (fun other -> Controller.put_async t.ctrl other ~scope chunks)
-          others
-        |> List.iter (fun iv -> ignore (Proc.Ivar.read iv))
+    | Ok chunks -> Op_engine.broadcast_put t.ctrl ~scope ~others chunks
   in
   fun group_flowid ->
     if Scope.mem Scope.Per t.scope then push Scope.Per group_flowid;
@@ -128,11 +128,24 @@ let initial_sync t =
   | [] | [ _ ] -> ()
   | first :: _ -> sync_group t first t.filter
 
-let start ctrl ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of ?route
-    ~consistency () =
-  if instances = [] then
-    Error (Op_error.Bad_spec { reason = "Share.start: no instances" })
+(* A share writes state on every instance it keeps consistent; strict
+   mode additionally diverts the filter's traffic through the switch. *)
+let footprint ~instances ~filter ~consistency =
+  Sched.Footprint.make ~filters:[ filter ]
+    ~writes:(List.map Controller.nf_name instances)
+    ~routes:(consistency = Strict) ()
+
+let start ctrl ?sched ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of
+    ?route ~consistency () =
+  if instances = [] then Op_engine.bad_spec "Share.start: no instances"
   else begin
+    let hold =
+      match sched with
+      | None -> None
+      | Some s ->
+        let fp = footprint ~instances ~filter ~consistency in
+        Some (s, Sched.acquire s ~footprint:fp)
+    in
     let group_of =
       match group_of with
       | Some f -> f
@@ -156,6 +169,7 @@ let start ctrl ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of ?route
         completion = Hashtbl.create 64;
         subs = [];
         strict_cookie;
+        hold;
         updates_synced = 0;
         packets_serialized = 0;
       }
@@ -198,9 +212,11 @@ let start ctrl ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of ?route
     Ok t
   end
 
-let start_exn ctrl ~instances ~filter ?scope ?group_of ?route ~consistency () =
+let start_exn ctrl ?sched ~instances ~filter ?scope ?group_of ?route
+    ~consistency () =
   Op_error.ok_exn
-    (start ctrl ~instances ~filter ?scope ?group_of ?route ~consistency ())
+    (start ctrl ?sched ~instances ~filter ?scope ?group_of ?route ~consistency
+       ())
 
 let stats (t : t) : stats =
   {
@@ -233,4 +249,5 @@ let stop t =
   in
   wait ();
   List.iter (Controller.unsubscribe t.ctrl) t.subs;
-  t.subs <- []
+  t.subs <- [];
+  Option.iter (fun (s, h) -> Sched.release s h) t.hold

@@ -37,8 +37,17 @@ type stats = {
   packets_serialized : int;
 }
 
+val footprint :
+  instances:Controller.nf list ->
+  filter:Filter.t ->
+  consistency:consistency ->
+  Sched.Footprint.t
+(** What a share holds for its lifetime: every instance written, the
+    filter's flows covered; strict mode also owns forwarding state. *)
+
 val start :
   Controller.t ->
+  ?sched:Sched.t ->
   instances:Controller.nf list ->
   filter:Filter.t ->
   ?scope:Scope.t list ->
@@ -50,10 +59,13 @@ val start :
 (** Blocking (performs the initial state synchronization). [route] is
     required for [Strict] (defaults to the first instance). [scope]
     defaults to [[Multi]]. An empty instance list is
-    [Error (Bad_spec _)]. *)
+    [Error (Bad_spec _)]. With [sched], the share's {!footprint} is
+    acquired before any setup and held until {!stop}, so conflicting
+    operations queue behind it. *)
 
 val start_exn :
   Controller.t ->
+  ?sched:Sched.t ->
   instances:Controller.nf list ->
   filter:Filter.t ->
   ?scope:Scope.t list ->

@@ -152,6 +152,31 @@ let accepts_flowid filter flowid =
   accepts_flowid_directed filter flowid
   || accepts_flowid_directed filter (mirror flowid)
 
+(* Could some flow match both filters? Address prefixes intersect iff
+   one contains the other; equality fields intersect unless both are
+   pinned to different values. [tcp_flag] and [app] are ignored — they
+   don't narrow the 5-tuple space a state footprint covers, so ignoring
+   them errs on the safe (overlapping) side. *)
+let overlap_prefix a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some p, Some q -> Ipaddr.Prefix.subset p q || Ipaddr.Prefix.subset q p
+
+let overlap_eq a b =
+  match (a, b) with None, _ | _, None -> true | Some x, Some y -> x = y
+
+let overlaps_directed a b =
+  overlap_prefix a.src b.src
+  && overlap_prefix a.dst b.dst
+  && overlap_eq a.proto b.proto
+  && overlap_eq a.src_port b.src_port
+  && overlap_eq a.dst_port b.dst_port
+
+(* Connection-level, like [matches_flow]: a flow matches a filter in
+   either direction, so two filters overlap if their directed forms
+   intersect directly or mirrored. *)
+let overlaps a b = overlaps_directed a b || overlaps_directed a (mirror b)
+
 let exact_prefix = function
   | Some p when Ipaddr.Prefix.bits p = 32 -> Some (Ipaddr.Prefix.network p)
   | Some _ | None -> None

@@ -79,6 +79,12 @@ val accepts_flowid : t -> t -> bool
     selected by [filter]? Only fields present in both are compared;
     direction-insensitive. *)
 
+val overlaps : t -> t -> bool
+(** [overlaps a b]: could some flow match both filters (in either
+    direction)? Conservative: [tcp_flag] and [app] constraints are
+    ignored, so a [true] may be spurious but a [false] is definite.
+    Used by the operation scheduler to detect footprint conflicts. *)
+
 val exact_key : t -> Flow.key option
 (** When the filter pins a full 5-tuple (/32 prefixes, both ports and
     the protocol), the corresponding flow key. Used to interpret

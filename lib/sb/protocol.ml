@@ -25,6 +25,7 @@ type request =
   | Get_allflows of { req : int }
   | Put_allflows of { req : int; chunks : Chunk.t list }
   | Ping of { req : int }
+  | Set_batching of { bytes : int option }
 
 type reply =
   | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }
@@ -35,14 +36,17 @@ type reply =
       packet : Packet.t;
       disposition : event_action;
     }
+  | Batch_reply of { items : reply list }
 
 let message_overhead = 128
+let batch_item_overhead = 8
 
 let chunks_size chunks =
   List.fold_left (fun acc (_, c) -> acc + Chunk.size c + 32) 0 chunks
 
 let request_size = function
-  | Enable_events _ | Disable_events _ | Ping _ -> message_overhead
+  | Enable_events _ | Disable_events _ | Ping _ | Set_batching _ ->
+    message_overhead
   | Get_perflow _ | Get_multiflow _ | Get_allflows _ -> message_overhead
   | Put_perflow { chunks; _ } | Put_multiflow { chunks; _ } ->
     message_overhead + chunks_size chunks
@@ -52,8 +56,15 @@ let request_size = function
     message_overhead
     + List.fold_left (fun acc c -> acc + Chunk.size c) 0 chunks
 
-let reply_size = function
+(* A batch pays the fixed framing once; each member costs its own size
+   minus the per-message overhead it no longer needs, plus a small
+   per-item delimiter. *)
+let rec reply_size = function
   | Piece { chunk; _ } -> message_overhead + Chunk.size chunk + 32
   | Done { chunks; _ } -> message_overhead + chunks_size chunks
   | Ack _ -> message_overhead
   | Event { packet; _ } -> message_overhead + packet.Packet.wire_size
+  | Batch_reply { items } ->
+    List.fold_left
+      (fun acc r -> acc + reply_size r - message_overhead + batch_item_overhead)
+      message_overhead items

@@ -37,6 +37,11 @@ type request =
   | Ping of { req : int }
       (** Liveness probe; answered with [Ack] through the NF's normal
           southbound work queue, so a wedged NF fails to answer. *)
+  | Set_batching of { bytes : int option }
+      (** Configure reply batching (§8.3 scalability knob): the NF
+          coalesces streamed [Piece]s into one [Batch_reply] once the
+          buffered payload reaches [bytes]; [None] disables batching
+          (the default, preserving per-message behaviour exactly). *)
 
 type reply =
   | Piece of { req : int; flowid : Filter.t; chunk : Chunk.t }
@@ -51,10 +56,19 @@ type reply =
       disposition : event_action;
           (** What the NF did with the packet (§4.3). *)
     }
+  | Batch_reply of { items : reply list }
+      (** Several replies coalesced into one wire message under the
+          [Set_batching] byte budget; the controller charges its
+          per-message cost once for the whole batch. Items are in send
+          order and never nest. *)
 
 val message_overhead : int
 (** Fixed wire size (bytes) charged per protocol message, matching the
     paper's ≈128-byte JSON messages. *)
+
+val batch_item_overhead : int
+(** Per-item framing (bytes) inside a [Batch_reply]; each member costs
+    its own size minus {!message_overhead} plus this delimiter. *)
 
 val request_size : request -> int
 val reply_size : reply -> int

@@ -38,6 +38,13 @@ type t = {
   mutable processed : int;
   mutable dropped : int;
   mutable tombstone_drops : int;
+  (* Reply batching (§8.3): when [batch_budget] is set, streamed pieces
+     accumulate here (newest first) and go out as one [Batch_reply] once
+     the buffered payload reaches the budget; any non-piece reply
+     flushes the buffer first so the controller still sees FIFO order. *)
+  mutable batch_budget : int option;
+  mutable rbuf : (Protocol.reply * int) list;
+  mutable rbuf_bytes : int;
 }
 
 let name t = t.name
@@ -49,14 +56,40 @@ let alive t =
   | None -> true
   | Some f -> Opennf_sim.Faults.alive f ~node:t.name
 
-let send_reply t ?size reply =
+let send_raw t reply ~size =
   match t.to_ctrl with
-  | Some chan when alive t ->
-    let size =
-      match size with Some s -> s | None -> Protocol.reply_size reply
-    in
-    Channel.send chan ~size reply
+  | Some chan when alive t -> Channel.send chan ~size reply
   | Some _ | None -> ()
+
+let flush_replies t =
+  match t.rbuf with
+  | [] -> ()
+  | [ (reply, size) ] ->
+    t.rbuf <- [];
+    t.rbuf_bytes <- 0;
+    send_raw t reply ~size
+  | buffered ->
+    let items = List.rev buffered in
+    let size =
+      List.fold_left
+        (fun acc (_, s) ->
+          acc + s - Protocol.message_overhead + Protocol.batch_item_overhead)
+        Protocol.message_overhead items
+    in
+    t.rbuf <- [];
+    t.rbuf_bytes <- 0;
+    send_raw t (Protocol.Batch_reply { items = List.map fst items }) ~size
+
+let send_reply t ?size reply =
+  let size = match size with Some s -> s | None -> Protocol.reply_size reply in
+  match (t.batch_budget, reply) with
+  | Some budget, Protocol.Piece _ ->
+    t.rbuf <- (reply, size) :: t.rbuf;
+    t.rbuf_bytes <- t.rbuf_bytes + size - Protocol.message_overhead;
+    if t.rbuf_bytes >= budget then flush_replies t
+  | _ ->
+    flush_replies t;
+    send_raw t reply ~size
 
 let raise_event t (p : Packet.t) disposition =
   Audit.log_evented t.audit p ~nf:t.name;
@@ -284,7 +317,8 @@ let handle_op t (req : Protocol.request) =
     List.iter t.impl.Nf_api.delete_multiflow flowids;
     send_reply t (Protocol.Ack { req })
   | Protocol.Ping { req } -> send_reply t (Protocol.Ack { req })
-  | Protocol.Enable_events _ | Protocol.Disable_events _ ->
+  | Protocol.Enable_events _ | Protocol.Disable_events _
+  | Protocol.Set_batching _ ->
     assert false (* handled inline in [control] *)
 
 let disable_events t filter =
@@ -314,6 +348,7 @@ let control t (req : Protocol.request) =
     | Protocol.Enable_events { filter; action } ->
       add_event_filter t filter action
     | Protocol.Disable_events { filter } -> disable_events t filter
+    | Protocol.Set_batching { bytes } -> t.batch_budget <- bytes
     | _ -> Proc.Mailbox.send t.work req
 
 let set_controller t chan = t.to_ctrl <- Some chan
@@ -339,6 +374,9 @@ let create engine audit ~name ~impl ~costs ?faults () =
       processed = 0;
       dropped = 0;
       tombstone_drops = 0;
+      batch_budget = None;
+      rbuf = [];
+      rbuf_bytes = 0;
     }
   in
   Proc.spawn engine (worker_loop t);

@@ -19,5 +19,6 @@ let () =
       ("apps", Test_apps.suite);
       ("trace", Test_trace.suite);
       ("properties", Test_props.suite);
+      ("sched", Test_sched.suite);
       ("faults", Test_faults.suite);
     ]
