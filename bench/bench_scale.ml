@@ -1,0 +1,256 @@
+(* Million-flow wall-clock scaling (ISSUE 4).
+
+   Three questions, each in real seconds (not virtual time):
+
+   - ordered stores: what does a bulk scoped get (the getPerflow
+     enumeration behind a move of every flow) cost at 10k / 100k / 1M
+     flows on the always-sorted walk, against the retained
+     sort-per-call reference ([Store.Perflow.matching_reference])?
+   - allocation: how many minor-heap words does one getPerflow
+     (enumerate + scratch-buffer chunk encode) burn?
+   - throughput: how many simulation events per wall second does a
+     traffic window sustain while the NF holds that much state — and
+     how much wall time does the domain pool recover when independent
+     seeded scenarios run on separate cores?
+
+   Sizes come from OPENNF_SCALE_SIZES (e.g. "10k 100k 1m"), defaulting
+   to the full sweep; the @bench-check smoke run sets small sizes.
+   Emits BENCH_scale.json. Wall times use [Unix.gettimeofday]:
+   [Sys.time] is process CPU time, which double-counts the pool. *)
+
+module H = Harness
+module Engine = Opennf_sim.Engine
+module Costs = Opennf_sb.Costs
+open Opennf_net
+open Opennf
+
+let default_sizes = [ 10_000; 100_000; 1_000_000 ]
+
+let parse_sizes s =
+  String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+  |> List.filter (fun tok -> tok <> "")
+  |> List.map (fun tok ->
+         let mult, digits =
+           match tok.[String.length tok - 1] with
+           | 'k' | 'K' -> (1_000, String.sub tok 0 (String.length tok - 1))
+           | 'm' | 'M' -> (1_000_000, String.sub tok 0 (String.length tok - 1))
+           | _ -> (1, tok)
+         in
+         mult * int_of_string digits)
+
+let sizes () =
+  match Sys.getenv_opt "OPENNF_SCALE_SIZES" with
+  | Some s -> parse_sizes s
+  | None -> default_sizes
+
+let key_of_int i =
+  Flow.make
+    ~src:(Ipaddr.of_int (0x0A000000 lor (i lsr 6)))
+    ~dst:(Ipaddr.of_int 0xC0A80101)
+    ~sport:(1024 + (i land 63))
+    ~dport:80 ()
+
+let packet_of_int i =
+  Packet.create ~id:i ~key:(key_of_int i) ~sent_at:0.0 ()
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let wall_per f ~iters =
+  let t, () = wall (fun () -> for _ = 1 to iters do f () done) in
+  t /. float_of_int iters
+
+let best_of ?(reps = 3) f ~iters =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    best := Float.min !best (wall_per f ~iters)
+  done;
+  !best
+
+let minor_words_per f ~iters =
+  f ();
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int iters
+
+(* --- bulk scoped get ---------------------------------------------------- *)
+
+type get_row = {
+  g_walk : float;  (* ordered in-order walk (Store.Perflow.matching) *)
+  g_ref : float;  (* fold-then-sort reference, the seed's shape *)
+  g_words : float;  (* minor words per NF-level getPerflow (list+export) *)
+  g_export_words : float;  (* minor words per single chunk export *)
+}
+
+let bench_get n =
+  let store = Opennf_state.Store.Perflow.create () in
+  let prads = Opennf_nfs.Prads.create () in
+  let impl = Opennf_nfs.Prads.impl prads in
+  for i = 0 to n - 1 do
+    Opennf_state.Store.Perflow.set store (key_of_int i) i;
+    impl.Opennf_sb.Nf_api.process_packet (packet_of_int i)
+  done;
+  (* The move-everything enumeration: an unconstrained filter takes the
+     ordered-walk path; the reference folds the hash table and sorts
+     the full result, which is what every scoped get used to pay. *)
+  let iters = max 1 (200_000 / n) in
+  let g_walk =
+    best_of ~iters (fun () ->
+        ignore (Opennf_state.Store.Perflow.matching store Filter.any))
+  in
+  let g_ref =
+    wall_per ~iters:(max 1 (50_000 / n)) (fun () ->
+        ignore (Opennf_state.Store.Perflow.matching_reference store Filter.any))
+  in
+  (* Allocation cost of one single-flow getPerflow: enumerate the
+     matching flowid, then serialize its connection through the
+     domain-local scratch writer. *)
+  let f = Filter.of_key (key_of_int (n / 2)) in
+  let g_words =
+    minor_words_per ~iters:1000 (fun () ->
+        List.iter
+          (fun flowid -> ignore (impl.Opennf_sb.Nf_api.export_perflow flowid))
+          (impl.Opennf_sb.Nf_api.list_perflow f))
+  in
+  let g_export_words =
+    minor_words_per ~iters:1000 (fun () ->
+        ignore (impl.Opennf_sb.Nf_api.export_perflow f))
+  in
+  { g_walk; g_ref; g_words; g_export_words }
+
+(* --- event throughput under load ----------------------------------------- *)
+
+type scenario_result = { sc_events : int; sc_virtual_end : float }
+
+(* A traffic window against a PRADS instance preloaded with [preload]
+   connections: [flows] fresh flows at [rate] pps for [duration]
+   virtual seconds. Fully seeded; runs on whichever domain calls it. *)
+let scenario ~seed ~preload ~flows ~rate ~duration () =
+  let fab = Fabric.create ~seed () in
+  let prads1 = Opennf_nfs.Prads.create () in
+  let nf1, _rt1 =
+    Fabric.add_nf fab ~name:"prads1" ~impl:(Opennf_nfs.Prads.impl prads1)
+      ~costs:Costs.prads
+  in
+  let impl1 = Opennf_nfs.Prads.impl prads1 in
+  for i = 0 to preload - 1 do
+    impl1.Opennf_sb.Nf_api.process_packet (packet_of_int i)
+  done;
+  let gen = Opennf_trace.Gen.create ~seed:(seed * 7) () in
+  let schedule, _keys =
+    Opennf_trace.Gen.steady_flows gen ~flows ~rate ~start:0.01 ~duration ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Opennf_sim.Proc.spawn fab.engine (fun () ->
+      Controller.set_route fab.ctrl Filter.any nf1);
+  Fabric.run fab;
+  { sc_events = Engine.processed fab.engine; sc_virtual_end = Engine.now fab.engine }
+
+type tput_row = { t_wall : float; t_events : int }
+
+let bench_throughput n =
+  let t_wall, r =
+    wall (scenario ~seed:(31 + n) ~preload:n ~flows:500 ~rate:20_000.0
+            ~duration:1.0)
+  in
+  { t_wall; t_events = r.sc_events }
+
+(* --- domain pool --------------------------------------------------------- *)
+
+type pool_row = {
+  p_tasks : int;
+  p_domains : int;
+  p_serial : float;
+  p_pool : float;
+  p_deterministic : bool;
+}
+
+(* Independent seeded scenarios, serial then pooled. The pooled run must
+   reproduce the serial results bit-for-bit: each scenario is
+   single-domain deterministic, and the pool only changes placement. *)
+let bench_pool ~preload =
+  let tasks =
+    Array.init 8 (fun i ->
+        scenario ~seed:(1000 + (137 * i)) ~preload ~flows:400 ~rate:10_000.0
+          ~duration:1.0)
+  in
+  let p_serial, serial = wall (fun () -> Array.map (fun f -> f ()) tasks) in
+  let p_pool, pooled = wall (fun () -> Opennf_util.Domain_pool.run tasks) in
+  {
+    p_tasks = Array.length tasks;
+    p_domains =
+      Stdlib.min (Array.length tasks) (Opennf_util.Domain_pool.default_domains ());
+    p_serial;
+    p_pool;
+    p_deterministic = serial = pooled;
+  }
+
+(* --- driver -------------------------------------------------------------- *)
+
+let json_row n g t =
+  Printf.sprintf
+    {|    {"flows": %d, "scoped_get_wall_ms": %.3f, "scoped_get_reference_wall_ms": %.3f, "scoped_get_speedup": %.2f, "get_perflow_minor_words": %.1f, "chunk_export_minor_words": %.1f, "scenario_wall_ms": %.1f, "scenario_events": %d, "events_per_sec": %.0f}|}
+    n (1000.0 *. g.g_walk) (1000.0 *. g.g_ref) (g.g_ref /. g.g_walk)
+    g.g_words g.g_export_words (1000.0 *. t.t_wall) t.t_events
+    (float_of_int t.t_events /. t.t_wall)
+
+let run () =
+  H.section "Wall-clock scaling (ordered stores, allocation, multicore)";
+  let sizes = sizes () in
+  let rows =
+    List.map
+      (fun n ->
+        let g = bench_get n in
+        Gc.compact ();
+        let t = bench_throughput n in
+        Gc.compact ();
+        (n, g, t))
+      sizes
+  in
+  H.table
+    ~header:
+      [
+        "flows"; "bulk get ms"; "bulk get ms (ref)"; "speedup";
+        "getPf minor words"; "export minor words"; "events/s";
+      ]
+    (List.map
+       (fun (n, g, t) ->
+         [
+           string_of_int n;
+           Printf.sprintf "%.2f" (1000.0 *. g.g_walk);
+           Printf.sprintf "%.2f" (1000.0 *. g.g_ref);
+           Printf.sprintf "%.1fx" (g.g_ref /. g.g_walk);
+           Printf.sprintf "%.0f" g.g_words;
+           Printf.sprintf "%.0f" g.g_export_words;
+           Printf.sprintf "%.0f" (float_of_int t.t_events /. t.t_wall);
+         ])
+       rows);
+  let pool = bench_pool ~preload:(List.fold_left Stdlib.min max_int sizes) in
+  H.note
+    "pool: %d scenarios on %d domains: serial %.0f ms, pooled %.0f ms (%.2fx), results %s"
+    pool.p_tasks pool.p_domains (1000.0 *. pool.p_serial)
+    (1000.0 *. pool.p_pool)
+    (pool.p_serial /. pool.p_pool)
+    (if pool.p_deterministic then "identical" else "DIVERGED");
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc "{\n  \"bench\": \"scale\",\n  \"rows\": [\n";
+  output_string oc
+    (String.concat ",\n" (List.map (fun (n, g, t) -> json_row n g t) rows));
+  output_string oc "\n  ],\n";
+  Printf.fprintf oc
+    "  \"pool\": {\"scenarios\": %d, \"domains\": %d, \"serial_wall_ms\": %.1f, \"pool_wall_ms\": %.1f, \"speedup\": %.2f, \"deterministic\": %b}\n"
+    pool.p_tasks pool.p_domains (1000.0 *. pool.p_serial)
+    (1000.0 *. pool.p_pool)
+    (pool.p_serial /. pool.p_pool)
+    pool.p_deterministic;
+  output_string oc "}\n";
+  close_out oc;
+  H.note "wrote BENCH_scale.json"
+
+let () =
+  H.register ~id:"scale"
+    ~descr:"wall-clock scaling: ordered getPerflow, allocation, domain pool" run

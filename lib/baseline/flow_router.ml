@@ -8,6 +8,9 @@ type t = {
   punt_cookie : int;
   mutable sub : Controller.subscription option;
   pins : (Flow.key * string) Flow.Table.t;  (* canonical key -> pin *)
+  pins_sorted : (Flow.key, string) Opennf_util.Omap.t;
+      (* Ordered mirror of [pins]: [pinned_flows] walks it in key order
+         instead of sorting the whole pin set on every call. *)
 }
 
 let pin_priority = 120
@@ -19,6 +22,7 @@ let on_packet_in t (p : Packet.t) =
     let nf = t.policy p in
     let name = Controller.nf_name nf in
     Flow.Table.replace t.pins k (k, name);
+    Opennf_util.Omap.set t.pins_sorted k name;
     let cookie = Controller.fresh_cookie t.ctrl in
     Controller.install_rule t.ctrl ~cookie ~priority:pin_priority
       ~filters:[ Filter.of_key k; Filter.of_key (Flow.reverse k) ]
@@ -36,7 +40,16 @@ let on_packet_in t (p : Packet.t) =
 
 let start ctrl ~policy ?(filter = Filter.any) () =
   let punt_cookie = Controller.fresh_cookie ctrl in
-  let t = { ctrl; policy; punt_cookie; sub = None; pins = Flow.Table.create 256 } in
+  let t =
+    {
+      ctrl;
+      policy;
+      punt_cookie;
+      sub = None;
+      pins = Flow.Table.create 256;
+      pins_sorted = Opennf_util.Omap.create ~cmp:Flow.compare;
+    }
+  in
   t.sub <- Some (Controller.subscribe_packet_in ctrl filter (on_packet_in t));
   let filters =
     if Filter.is_symmetric filter then [ filter ]
@@ -50,9 +63,10 @@ let start ctrl ~policy ?(filter = Filter.any) () =
 
 let set_policy t policy = t.policy <- policy
 
+(* In-order walk of the maintained mirror — same output as sorting the
+   pin set by key, without the per-call sort. *)
 let pinned_flows t =
-  Flow.Table.fold (fun _ pin acc -> pin :: acc) t.pins []
-  |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
+  Opennf_util.Omap.fold_desc (fun k name acc -> (k, name) :: acc) t.pins_sorted []
 
 let pinned_on t nf =
   let name = Controller.nf_name nf in

@@ -49,8 +49,11 @@ type slot = {
   mutable d_hit : bool;  (* False: the memoized decision is "no match". *)
 }
 
+module Omap = Opennf_util.Omap
+
 type t = {
   by_cookie : (int, entry) Hashtbl.t;
+  by_seq : (int, entry) Omap.t;  (* Ordered by install sequence. *)
   exact : entry list Flow.Table.t;
   mutable wild : bucket list;  (* Sorted by descending priority. *)
   mutable flag_rules : int;
@@ -80,6 +83,7 @@ let cache_max = 1 lsl 17
 let create () =
   {
     by_cookie = Hashtbl.create 64;
+    by_seq = Omap.create ~cmp:Int.compare;
     exact = Flow.Table.create 64;
     wild = [];
     flag_rules = 0;
@@ -93,7 +97,9 @@ let create () =
 let exact_keys rule =
   let keys = List.map Filter.exact_key rule.filters in
   if List.for_all Option.is_some keys then
-    Some (List.sort_uniq Flow.compare (List.filter_map Fun.id keys))
+    (* Dedup + order through the same ordered-enumeration helper the
+       state stores use. *)
+    Some (Omap.sort_uniq ~cmp:Flow.compare (List.filter_map Fun.id keys))
   else None
 
 let has_flag_filter rule =
@@ -101,6 +107,7 @@ let has_flag_filter rule =
 
 let unlink t e =
   Hashtbl.remove t.by_cookie e.rule.cookie;
+  Omap.remove t.by_seq e.installed_seq;
   if has_flag_filter e.rule then t.flag_rules <- t.flag_rules - 1;
   match exact_keys e.rule with
   | Some keys ->
@@ -121,6 +128,7 @@ let unlink t e =
 
 let link t e =
   Hashtbl.replace t.by_cookie e.rule.cookie e;
+  Omap.set t.by_seq e.installed_seq e;
   if has_flag_filter e.rule then t.flag_rules <- t.flag_rules + 1;
   match exact_keys e.rule with
   | Some keys ->
@@ -137,9 +145,15 @@ let link t e =
     match List.find_opt (fun b -> b.prio = e.rule.priority) t.wild with
     | Some b -> b.entries <- e :: b.entries
     | None ->
+      (* Sorted insert (descending priority): the bucket list stays
+         ordered without re-sorting it on every new priority. *)
       let b = { prio = e.rule.priority; entries = [ e ] } in
-      t.wild <-
-        List.sort (fun a b -> Int.compare b.prio a.prio) (b :: t.wild))
+      let rec insert = function
+        | [] -> [ b ]
+        | b' :: _ as rest when b.prio > b'.prio -> b :: rest
+        | b' :: rest -> b' :: insert rest
+      in
+      t.wild <- insert t.wild)
 
 let invalidate t = t.generation <- t.generation + 1
 
@@ -260,10 +274,9 @@ let lookup_reference t p =
 let find t ~cookie =
   Option.map (fun e -> e.rule) (Hashtbl.find_opt t.by_cookie cookie)
 
-let rules t =
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.by_cookie []
-  |> List.sort (fun a b -> Int.compare b.installed_seq a.installed_seq)
-  |> List.map (fun e -> e.rule)
+(* Newest-first dump via the seq-ordered mirror: an ascending fold with
+   prepend yields descending install order — no per-call sort. *)
+let rules t = Omap.fold_asc (fun _ e acc -> e.rule :: acc) t.by_seq []
 
 let size t = Hashtbl.length t.by_cookie
 let generation t = t.generation

@@ -53,7 +53,7 @@ let entry_relevant (filter : Filter.t) _url entry =
 let create () =
   {
     conns = Store.Perflow.create ();
-    cache = Store.Keyed.create ~relevant:entry_relevant;
+    cache = Store.Keyed.create ~relevant:entry_relevant ();
     hits = 0;
     misses = 0;
     crashed = false;

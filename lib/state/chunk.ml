@@ -7,9 +7,12 @@ let v ~kind data = { kind; data }
 let size t = String.length t.data + String.length t.kind
 
 let encode ~kind build =
-  let w = Bytes_io.Writer.create () in
-  build w;
-  { kind; data = Bytes_io.Writer.contents w }
+  (* Chunk encodes are the serialization fast path: build into the
+     domain-local scratch buffer instead of allocating a writer (and
+     its growth copies) per chunk. *)
+  Bytes_io.Writer.with_scratch (fun w ->
+      build w;
+      { kind; data = Bytes_io.Writer.contents w })
 
 let reader t = Bytes_io.Reader.of_string t.data
 

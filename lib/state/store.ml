@@ -1,7 +1,14 @@
+module Omap = Opennf_util.Omap
 open Opennf_net
 
-(* Deterministic enumeration: sort by key so simulation runs do not
-   depend on hash-table iteration order. *)
+(* Deterministic enumeration: results are in key order so simulation
+   runs do not depend on hash-table iteration order. Each store pairs a
+   hash table (O(1) point lookups on the packet path) with an
+   always-sorted mirror ({!Opennf_util.Omap}, O(log n) update), so a
+   scoped enumeration is an in-order walk — never materialize-then-sort
+   on the query path. The [matching_reference] functions retain the
+   original fold-and-sort shape as oracles for the equivalence tests
+   (and as the bench baselines). *)
 
 module Perflow = struct
   (* Alongside the canonical-keyed value table, a secondary index maps
@@ -11,9 +18,16 @@ module Perflow = struct
   type 'a t = {
     table : 'a Flow.Table.t;
     by_host : (Ipaddr.t, Flow.Set.t ref) Hashtbl.t;
+    sorted : (Flow.key, 'a) Omap.t;
   }
 
-  let create () = { table = Flow.Table.create 64; by_host = Hashtbl.create 64 }
+  let create () =
+    {
+      table = Flow.Table.create 64;
+      by_host = Hashtbl.create 64;
+      sorted = Omap.create ~cmp:Flow.compare;
+    }
+
   let find t k = Flow.Table.find_opt t.table (Flow.canonical k)
 
   let index_add t ip k =
@@ -34,26 +48,31 @@ module Perflow = struct
       index_add t k.Flow.src_ip k;
       index_add t k.Flow.dst_ip k
     end;
-    Flow.Table.replace t.table k v
+    Flow.Table.replace t.table k v;
+    Omap.set t.sorted k v
 
   let remove t k =
     let k = Flow.canonical k in
     if Flow.Table.mem t.table k then begin
       Flow.Table.remove t.table k;
       index_remove t k.Flow.src_ip k;
-      index_remove t k.Flow.dst_ip k
+      index_remove t k.Flow.dst_ip k;
+      Omap.remove t.sorted k
     end
 
   let mem t k = Flow.Table.mem t.table (Flow.canonical k)
 
   (* Reference path (and oracle for the equivalence tests): fold over
-     every entry. *)
+     every entry, then sort — the seed's sort-per-call behavior. *)
   let matching_reference t filter =
     Flow.Table.fold
       (fun k v acc -> if Filter.matches_flow filter k then (k, v) :: acc else acc)
       t.table []
     |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
 
+  (* Candidate sets ({!Flow.Set}) already enumerate in [Flow.compare]
+     order, so folding and reversing reproduces the sorted result with
+     no comparison sort at all. *)
   let of_candidates t filter keys =
     Flow.Set.fold
       (fun k acc ->
@@ -63,7 +82,7 @@ module Perflow = struct
           | None -> acc
         else acc)
       keys []
-    |> List.sort (fun (a, _) (b, _) -> Flow.compare a b)
+    |> List.rev
 
   (* Candidates for an address constraint: a connection matches only if
      one of its endpoints lies in the prefix ({!Filter.matches_flow}
@@ -92,51 +111,124 @@ module Perflow = struct
       match (filter.Filter.src, filter.Filter.dst) with
       | Some p, _ | None, Some p ->
         of_candidates t filter (prefix_candidates t p)
-      | None, None -> matching_reference t filter)
+      | None, None ->
+        (* Unscoped: in-order walk of the sorted mirror. A descending
+           fold with prepend yields the ascending list directly. *)
+        Omap.fold_desc
+          (fun k v acc ->
+            if Filter.matches_flow filter k then (k, v) :: acc else acc)
+          t.sorted [])
 
   let fold t ~init ~f = Flow.Table.fold (fun k v acc -> f k v acc) t.table init
   let size t = Flow.Table.length t.table
 end
 
 module Per_host = struct
-  type 'a t = (Ipaddr.t, 'a) Hashtbl.t
+  type 'a t = {
+    table : (Ipaddr.t, 'a) Hashtbl.t;
+    sorted : (Ipaddr.t, 'a) Omap.t;
+  }
 
-  let create () = Hashtbl.create 64
-  let find t ip = Hashtbl.find_opt t ip
-  let set t ip v = Hashtbl.replace t ip v
-  let remove t ip = Hashtbl.remove t ip
+  let create () =
+    { table = Hashtbl.create 64; sorted = Omap.create ~cmp:Ipaddr.compare }
+
+  let find t ip = Hashtbl.find_opt t.table ip
+
+  let set t ip v =
+    Hashtbl.replace t.table ip v;
+    Omap.set t.sorted ip v
+
+  let remove t ip =
+    Hashtbl.remove t.table ip;
+    Omap.remove t.sorted ip
 
   let update t ip ~default ~f =
     let current = match find t ip with Some v -> v | None -> default () in
     set t ip (f current)
 
-  let matching t filter =
+  (* Oracle: the seed's fold-and-sort shape. *)
+  let matching_reference t filter =
     Hashtbl.fold
       (fun ip v acc ->
         if Filter.matches_host filter ip then (ip, v) :: acc else acc)
-      t []
+      t.table []
     |> List.sort (fun (a, _) (b, _) -> Ipaddr.compare a b)
 
-  let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f k v acc) t init
-  let size = Hashtbl.length
+  (* When every address constraint pins a single host, probe the table
+     instead of walking it. [matches_host] is satisfied by either
+     endpoint constraint, so the candidates are the union of the pinned
+     hosts (deduplicated, ascending). *)
+  let exact_host = function
+    | None -> Some None (* no constraint on this endpoint *)
+    | Some p when Ipaddr.Prefix.bits p = 32 ->
+      Some (Some (Ipaddr.Prefix.network p))
+    | Some _ -> None (* wide prefix: no cheap candidate set *)
+
+  let host_candidates filter =
+    match (exact_host filter.Filter.src, exact_host filter.Filter.dst) with
+    | Some None, Some None -> None (* unconstrained: full walk *)
+    | Some (Some a), Some (Some b) ->
+      let c = Ipaddr.compare a b in
+      Some (if c < 0 then [ a; b ] else if c = 0 then [ a ] else [ b; a ])
+    | Some (Some a), Some None | Some None, Some (Some a) -> Some [ a ]
+    | None, _ | _, None -> None
+
+  let matching t filter =
+    match host_candidates filter with
+    | Some hosts ->
+      List.filter_map
+        (fun ip ->
+          if Filter.matches_host filter ip then
+            Option.map (fun v -> (ip, v)) (Hashtbl.find_opt t.table ip)
+          else None)
+        hosts
+    | None ->
+      Omap.fold_desc
+        (fun ip v acc ->
+          if Filter.matches_host filter ip then (ip, v) :: acc else acc)
+        t.sorted []
+
+  let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f k v acc) t.table init
+  let size t = Hashtbl.length t.table
 end
 
 module Keyed = struct
   type ('k, 'a) t = {
     table : ('k, 'a) Hashtbl.t;
     relevant : Filter.t -> 'k -> 'a -> bool;
+    sorted : ('k, 'a) Omap.t;
   }
 
-  let create ~relevant = { table = Hashtbl.create 64; relevant }
-  let find t k = Hashtbl.find_opt t.table k
-  let set t k v = Hashtbl.replace t.table k v
-  let remove t k = Hashtbl.remove t.table k
+  (* [compare] orders enumeration; the default matches the polymorphic
+     ordering the seed's [List.sort compare] produced. *)
+  let create ?(compare = Stdlib.compare) ~relevant () =
+    {
+      table = Hashtbl.create 64;
+      relevant;
+      sorted = Omap.create ~cmp:compare;
+    }
 
-  let matching t filter =
+  let find t k = Hashtbl.find_opt t.table k
+
+  let set t k v =
+    Hashtbl.replace t.table k v;
+    Omap.set t.sorted k v
+
+  let remove t k =
+    Hashtbl.remove t.table k;
+    Omap.remove t.sorted k
+
+  (* Oracle: the seed's fold-and-sort shape. *)
+  let matching_reference t filter =
     Hashtbl.fold
       (fun k v acc -> if t.relevant filter k v then (k, v) :: acc else acc)
       t.table []
     |> List.sort compare
+
+  let matching t filter =
+    Omap.fold_desc
+      (fun k v acc -> if t.relevant filter k v then (k, v) :: acc else acc)
+      t.sorted []
 
   let fold t ~init ~f = Hashtbl.fold (fun k v acc -> f k v acc) t.table init
   let size t = Hashtbl.length t.table

@@ -47,7 +47,15 @@ module Per_host : sig
   val update : 'a t -> Ipaddr.t -> default:(unit -> 'a) -> f:('a -> 'a) -> unit
   val matching : 'a t -> Filter.t -> (Ipaddr.t * 'a) list
   (** Hosts accepted by the filter's address constraints
-      ([Filter.matches_host]). *)
+      ([Filter.matches_host]), in ascending address order.
+
+      Indexed: filters whose address constraints all pin single hosts
+      are answered by hash probes; anything else is an in-order walk of
+      the sorted mirror (never a per-call sort). *)
+
+  val matching_reference : 'a t -> Filter.t -> (Ipaddr.t * 'a) list
+  (** Oracle: fold-and-sort over every entry. Same result as
+      {!matching}; for tests and benchmarks. *)
 
   val fold : 'a t -> init:'b -> f:(Ipaddr.t -> 'a -> 'b -> 'b) -> 'b
   val size : 'a t -> int
@@ -58,11 +66,26 @@ module Keyed : sig
   (** Generic store for NF-specific keys (e.g. URLs in a cache) with a
       caller-supplied relevance test for filters. *)
 
-  val create : relevant:(Filter.t -> 'k -> 'a -> bool) -> ('k, 'a) t
+  val create :
+    ?compare:('k -> 'k -> int) ->
+    relevant:(Filter.t -> 'k -> 'a -> bool) ->
+    unit ->
+    ('k, 'a) t
+  (** [compare] orders {!matching} enumeration (default: the polymorphic
+      ordering, matching the historical sort-by-key behavior). *)
+
   val find : ('k, 'a) t -> 'k -> 'a option
   val set : ('k, 'a) t -> 'k -> 'a -> unit
   val remove : ('k, 'a) t -> 'k -> unit
+
   val matching : ('k, 'a) t -> Filter.t -> ('k * 'a) list
+  (** Relevant entries in ascending [compare] key order — an in-order
+      walk of the sorted mirror, never a per-call sort. *)
+
+  val matching_reference : ('k, 'a) t -> Filter.t -> ('k * 'a) list
+  (** Oracle: fold-and-sort with the polymorphic comparison. Same result
+      as {!matching} under the default [compare]. *)
+
   val fold : ('k, 'a) t -> init:'b -> f:('k -> 'a -> 'b -> 'b) -> 'b
   val size : ('k, 'a) t -> int
 end

@@ -6,6 +6,27 @@ module Writer = struct
   type t = Buffer.t
 
   let create ?(capacity = 256) () = Buffer.create capacity
+
+  (* Reusable encode scratch: chunk serialization on the get/put fast
+     path runs millions of times per scenario, and a fresh [Buffer] per
+     chunk (plus its internal growth copies) is pure minor-heap
+     garbage. Each domain owns one scratch buffer; [with_scratch] hands
+     it out cleared, and nested use (an encode inside an encode) falls
+     back to a fresh buffer so reuse can never alias. *)
+  type scratch = { buf : Buffer.t; mutable in_use : bool }
+
+  let scratch_key =
+    Domain.DLS.new_key (fun () -> { buf = Buffer.create 4096; in_use = false })
+
+  let with_scratch f =
+    let s = Domain.DLS.get scratch_key in
+    if s.in_use then f (Buffer.create 256)
+    else begin
+      s.in_use <- true;
+      Buffer.clear s.buf;
+      Fun.protect ~finally:(fun () -> s.in_use <- false) (fun () -> f s.buf)
+    end
+
   let u8 t v = Buffer.add_char t (Char.chr (v land 0xFF))
 
   let u16 t v =
@@ -17,11 +38,23 @@ module Writer = struct
     u16 t ((v lsr 16) land 0xFFFF)
 
   let i64 t v =
-    for shift = 0 to 7 do
-      u8 t (Int64.to_int (Int64.shift_right_logical v (shift * 8)) land 0xFF)
-    done
+    (* Split once into two 32-bit halves instead of boxing a shifted
+       Int64 per byte. *)
+    u32 t (Int64.to_int (Int64.logand v 0xFFFF_FFFFL));
+    u32 t (Int64.to_int (Int64.shift_right_logical v 32))
 
-  let int t v = i64 t (Int64.of_int v)
+  (* Same wire bytes as [i64 (Int64.of_int v)] — arithmetic shifts
+     sign-extend exactly like the Int64 widening — with no boxing. *)
+  let int t v =
+    u8 t v;
+    u8 t (v asr 8);
+    u8 t (v asr 16);
+    u8 t (v asr 24);
+    u8 t (v asr 32);
+    u8 t (v asr 40);
+    u8 t (v asr 48);
+    u8 t (v asr 56)
+
   let f64 t v = i64 t (Int64.bits_of_float v)
   let bool t v = u8 t (if v then 1 else 0)
 
@@ -59,13 +92,24 @@ module Reader = struct
     lo lor (hi lsl 16)
 
   let i64 t =
-    let v = ref 0L in
-    for shift = 0 to 7 do
-      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 t)) (shift * 8))
-    done;
-    !v
+    let lo = u32 t in
+    let hi = u32 t in
+    Int64.logor (Int64.of_int lo) (Int64.shift_left (Int64.of_int hi) 32)
 
-  let int t = Int64.to_int (i64 t)
+  (* Box-free inverse of [Writer.int]: byte 7's high bits fall off the
+     63-bit int exactly as [Int64.to_int] would drop them. *)
+  let int t =
+    let b0 = u8 t in
+    let b1 = u8 t in
+    let b2 = u8 t in
+    let b3 = u8 t in
+    let b4 = u8 t in
+    let b5 = u8 t in
+    let b6 = u8 t in
+    let b7 = u8 t in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) lor (b4 lsl 32)
+    lor (b5 lsl 40) lor (b6 lsl 48) lor (b7 lsl 56)
+
   let f64 t = Int64.float_of_bits (i64 t)
 
   let bool t =

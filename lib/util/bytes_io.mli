@@ -10,6 +10,13 @@ module Writer : sig
   type t
 
   val create : ?capacity:int -> unit -> t
+
+  val with_scratch : (t -> 'a) -> 'a
+  (** Run [f] with a cleared, reusable writer (one per domain) — the
+      allocation-light path for high-rate encodes. The writer is only
+      valid during [f]; take [contents] before returning. Nested calls
+      fall back to a fresh writer. *)
+
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit
   val u32 : t -> int -> unit

@@ -1,0 +1,50 @@
+(* A small work-stealing-free domain pool for the bench harness: run
+   independent, fully-seeded scenarios in parallel, one scenario per
+   domain at a time. Each task runs entirely within a single domain, so
+   scenario-internal determinism (simulation engine, RNG streams,
+   domain-local scratch buffers) is untouched — parallelism only
+   changes which wall-clock core a scenario occupies.
+
+   Tasks are claimed from a shared atomic counter; results land in
+   per-task slots, and [Domain.join] publishes them to the caller. An
+   exception in any task is re-raised after all domains finish. *)
+
+let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+(* [run ?domains tasks] evaluates every thunk and returns their results
+   in task order. [domains] caps the pool size (default: the runtime's
+   recommended domain count, never more than there are tasks). *)
+let run ?domains (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let pool =
+    Stdlib.max 1
+      (Stdlib.min n (match domains with Some d -> d | None -> default_domains ()))
+  in
+  if n = 0 then [||]
+  else if pool = 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (pool - 1) (fun _ -> Domain.spawn worker) in
+    let first_exn = ref None in
+    (try worker () with e -> first_exn := Some e);
+    Array.iter
+      (fun d ->
+        try Domain.join d
+        with e -> if Option.is_none !first_exn then first_exn := Some e)
+      helpers;
+    (match !first_exn with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> failwith "Domain_pool.run: missing result")
+      results
+  end

@@ -1,0 +1,16 @@
+(** A small domain pool for the bench harness.
+
+    Runs independent, fully-seeded scenarios in parallel, one scenario
+    per domain at a time. Each task runs entirely within a single
+    domain, so scenario-internal determinism (simulation engine, RNG
+    streams, domain-local scratch buffers) is untouched — parallelism
+    only changes which wall-clock core a scenario occupies. *)
+
+val default_domains : unit -> int
+(** The runtime's recommended domain count (at least 1). *)
+
+val run : ?domains:int -> (unit -> 'a) array -> 'a array
+(** [run tasks] evaluates every thunk and returns their results in task
+    order. [domains] caps the pool size (default
+    {!default_domains}, never more than there are tasks). An exception
+    in any task is re-raised after all domains finish. *)

@@ -10,6 +10,11 @@ val compress : string -> string
 val decompress : string -> string
 (** Raises [Invalid_argument] on malformed input. *)
 
+val compress_length : string -> int
+(** [String.length (compress s)] computed by the same greedy parse
+    without materializing the output — the allocation-free path for
+    wire-size accounting. *)
+
 val ratio : string -> float
 (** [ratio s] is [compressed_size / original_size] (1.0 for empty). *)
 

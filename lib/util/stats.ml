@@ -46,7 +46,9 @@ module Reservoir = struct
     if t.count = 0 then 0.0
     else begin
       let arr = Array.of_list t.samples in
-      Array.sort compare arr;
+      (* Float.compare, not polymorphic compare: an order of magnitude
+         cheaper per comparison and totally ordered under NaN. *)
+      Array.sort Float.compare arr;
       let rank = int_of_float (ceil (p *. float_of_int t.count)) - 1 in
       let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
       arr.(rank)

@@ -5,6 +5,7 @@ let () =
       ("sim", Test_sim.suite);
       ("net", Test_net.suite);
       ("index-equiv", Test_index_equiv.suite);
+      ("ordered", Test_ordered.suite);
       ("state", Test_state.suite);
       ("sb", Test_sb.suite);
       ("nfs", Test_nfs.suite);

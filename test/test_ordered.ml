@@ -1,0 +1,229 @@
+(* Ordered-store equivalence (ISSUE 4): the always-sorted mirrors that
+   replaced materialize-then-sort enumeration must be observationally
+   identical — same keys, same order, same values — to the retained
+   fold-and-sort references, under arbitrary insert/remove/get
+   interleavings. Plus allocation-budget regressions for the
+   getPerflow fast path: the point of the ordered stores and scratch
+   buffers is that a scoped get neither sorts nor churns the minor
+   heap, and a budget test keeps that true. *)
+
+module Omap = Opennf_util.Omap
+module IntMap = Map.Make (Int)
+open Opennf_net
+open Opennf_state
+
+(* --- generators: a small universe so churn collides often ------------- *)
+
+let ip a b = Ipaddr.v 10 0 (a land 3) (b land 7)
+
+let key a b =
+  Flow.make ~src:(ip a b) ~dst:(ip b a)
+    ~proto:(if a land 1 = 0 then Flow.Tcp else Flow.Udp)
+    ~sport:(1000 + (a land 3))
+    ~dport:(1000 + (b land 3))
+    ()
+
+let filter_of c a b =
+  match c mod 8 with
+  | 0 -> Filter.any
+  | 1 -> Filter.of_src_host (ip a b)
+  | 2 -> Filter.of_dst_host (ip a b)
+  | 3 -> Filter.of_src_prefix (Ipaddr.Prefix.make (ip a b) 24)
+  | 4 -> Filter.make ~src:(Ipaddr.Prefix.host (ip a b)) ~dst:(Ipaddr.Prefix.host (ip b a)) ()
+  | 5 -> Filter.make ~src:(Ipaddr.Prefix.host (ip a b)) ~dst_port:(1000 + (b land 3)) ()
+  | 6 -> Filter.make ~proto:(if a land 1 = 0 then Flow.Tcp else Flow.Udp) ()
+  | _ -> Filter.of_key (key a b)
+
+let ops_arb =
+  QCheck.(list_of_size (Gen.int_range 1 120) (triple small_nat small_nat small_nat))
+
+let show_pairs pp l =
+  String.concat ";" (List.map (fun (k, v) -> Format.asprintf "%a=%d" pp k v) l)
+
+(* --- store equivalence under churn ------------------------------------ *)
+
+let perflow_equiv =
+  QCheck.Test.make ~name:"perflow: ordered matching == sorted reference (random)"
+    ~count:60 ops_arb (fun ops ->
+      let store = Store.Perflow.create () in
+      List.for_all
+        (fun (c, a, b) ->
+          match c mod 5 with
+          | 0 | 1 ->
+            Store.Perflow.set store (key a b) c;
+            true
+          | 2 ->
+            Store.Perflow.remove store (key a b);
+            true
+          | _ ->
+            let f = filter_of c a b in
+            let got = Store.Perflow.matching store f in
+            let want = Store.Perflow.matching_reference store f in
+            if got <> want then
+              QCheck.Test.fail_reportf "filter %s: got [%s] want [%s]"
+                (Filter.to_string f) (show_pairs Flow.pp got)
+                (show_pairs Flow.pp want)
+            else true)
+        ops)
+
+let per_host_equiv =
+  QCheck.Test.make ~name:"per-host: ordered matching == sorted reference (random)"
+    ~count:60 ops_arb (fun ops ->
+      let store = Store.Per_host.create () in
+      List.for_all
+        (fun (c, a, b) ->
+          match c mod 5 with
+          | 0 | 1 ->
+            Store.Per_host.set store (ip a b) c;
+            true
+          | 2 ->
+            Store.Per_host.remove store (ip a b);
+            true
+          | 3 ->
+            Store.Per_host.update store (ip a b)
+              ~default:(fun () -> 0)
+              ~f:(fun v -> v + 1);
+            true
+          | _ ->
+            let f = filter_of c a b in
+            let got = Store.Per_host.matching store f in
+            let want = Store.Per_host.matching_reference store f in
+            if got <> want then
+              QCheck.Test.fail_reportf "filter %s: got [%s] want [%s]"
+                (Filter.to_string f) (show_pairs Ipaddr.pp got)
+                (show_pairs Ipaddr.pp want)
+            else true)
+        ops)
+
+let keyed_equiv =
+  QCheck.Test.make ~name:"keyed: ordered matching == sorted reference (random)"
+    ~count:60 ops_arb (fun ops ->
+      let relevant (f : Filter.t) k _v =
+        match f.Filter.src_port with
+        | Some p -> k mod 3 = p mod 3
+        | None -> true
+      in
+      let store = Store.Keyed.create ~relevant () in
+      List.for_all
+        (fun (c, a, b) ->
+          match c mod 4 with
+          | 0 | 1 ->
+            Store.Keyed.set store (a land 15) (b + c);
+            true
+          | 2 ->
+            Store.Keyed.remove store (a land 15);
+            true
+          | _ ->
+            let f =
+              if c land 1 = 0 then Filter.any
+              else Filter.make ~src_port:(1000 + (a land 3)) ()
+            in
+            Store.Keyed.matching store f
+            = Store.Keyed.matching_reference store f)
+        ops)
+
+(* The ordered-map helper itself against the stdlib Map oracle. *)
+let omap_oracle =
+  QCheck.Test.make ~name:"omap: set/remove/find/walk == stdlib Map (random)"
+    ~count:120
+    QCheck.(list (pair small_nat small_nat))
+    (fun ops ->
+      let om = Omap.create ~cmp:Int.compare in
+      let oracle = ref IntMap.empty in
+      List.iter
+        (fun (c, k) ->
+          if c mod 3 = 2 then begin
+            Omap.remove om k;
+            oracle := IntMap.remove k !oracle
+          end
+          else begin
+            Omap.set om k c;
+            oracle := IntMap.add k c !oracle
+          end)
+        ops;
+      Omap.to_alist om = IntMap.bindings !oracle
+      && Omap.cardinal om = IntMap.cardinal !oracle
+      && List.for_all
+           (fun (_, k) -> Omap.find_opt om k = IntMap.find_opt k !oracle)
+           ops
+      && Omap.fold_asc (fun k v acc -> (k, v) :: acc) om []
+         = List.rev (IntMap.bindings !oracle))
+
+(* --- allocation budgets ------------------------------------------------ *)
+
+let minor_words_per ~iters f =
+  f ();
+  (* warm caches and one-time setup *)
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. before) /. float_of_int iters
+
+let populate_prads n =
+  let prads = Opennf_nfs.Prads.create () in
+  let impl = Opennf_nfs.Prads.impl prads in
+  for i = 0 to n - 1 do
+    let k =
+      Flow.make
+        ~src:(Ipaddr.of_int (0x0A000000 lor (i lsr 6)))
+        ~dst:(Ipaddr.of_int 0xC0A80101)
+        ~sport:(1024 + (i land 63))
+        ~dport:80 ()
+    in
+    impl.Opennf_sb.Nf_api.process_packet (Packet.create ~id:i ~key:k ~sent_at:0.0 ())
+  done;
+  impl
+
+(* The raw scoped probe must stay O(1) allocations — a handful of words
+   for the canonical key and the result cell, nothing proportional to
+   the store. *)
+let test_matching_alloc_budget () =
+  let store = Store.Perflow.create () in
+  for i = 0 to 9_999 do
+    Store.Perflow.set store (key (i land 255) (i lsr 8)) i
+  done;
+  let f = Filter.of_key (key 7 42) in
+  let per_op =
+    minor_words_per ~iters:1000 (fun () ->
+        ignore (Store.Perflow.matching store f))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "exact matching stays under 128 minor words/op (got %.1f)"
+       per_op)
+    true (per_op < 128.0)
+
+(* NF-level getPerflow (list + chunk export) on a 10k-flow PRADS: scoped
+   enumeration plus one scratch-buffer encode. The budget has ~3x
+   headroom over the measured cost but is far below what a single sort
+   of the store (~10k list cells) would spend. *)
+let test_get_perflow_alloc_budget () =
+  let impl = populate_prads 10_000 in
+  let f =
+    Filter.of_key
+      (Flow.make
+         ~src:(Ipaddr.of_int (0x0A000000 lor (5_000 lsr 6)))
+         ~dst:(Ipaddr.of_int 0xC0A80101)
+         ~sport:(1024 + (5_000 land 63))
+         ~dport:80 ())
+  in
+  let per_op =
+    minor_words_per ~iters:500 (fun () ->
+        List.iter
+          (fun flowid -> ignore (impl.Opennf_sb.Nf_api.export_perflow flowid))
+          (impl.Opennf_sb.Nf_api.list_perflow f))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "getPerflow stays under 2048 minor words/op (got %.1f)"
+       per_op)
+    true (per_op < 2048.0)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ perflow_equiv; per_host_equiv; keyed_equiv; omap_oracle ]
+  @ [
+      Alcotest.test_case "alloc budget: exact store matching" `Quick
+        test_matching_alloc_budget;
+      Alcotest.test_case "alloc budget: NF getPerflow path" `Quick
+        test_get_perflow_alloc_budget;
+    ]

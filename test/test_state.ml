@@ -83,8 +83,10 @@ let test_per_host_store () =
 
 let test_keyed_store () =
   let s =
-    Store.Keyed.create ~relevant:(fun (f : Filter.t) _k v ->
+    Store.Keyed.create
+      ~relevant:(fun (f : Filter.t) _k v ->
         match f.Filter.app with Some a -> a = v | None -> true)
+      ()
   in
   Store.Keyed.set s 1 "alpha";
   Store.Keyed.set s 2 "beta";
