@@ -33,8 +33,8 @@ let duration = 3.0
 let rate = 1000.0
 let flows = 40
 
-let bed ~resilience =
-  let fab = Fabric.create ~seed:21 ~resilience () in
+let bed ~obs ~resilience =
+  let fab = Fabric.create ~seed:21 ~obs ~resilience () in
   let primary_p = Opennf_nfs.Prads.create () in
   let standby_p = Opennf_nfs.Prads.create () in
   let primary, rt1 =
@@ -72,9 +72,9 @@ let detection_budget (r : Controller.resilience) =
   float_of_int r.liveness_misses
   *. (r.probe_period +. Controller.call_budget r)
 
-let run_detection ~probe_period ~misses =
+let run_detection ~obs ~probe_period ~misses =
   let resilience = policy ~probe_period ~misses in
-  let fab, primary, standby, _, rt2, _, _ = bed ~resilience in
+  let fab, primary, standby, _, rt2, _, _ = bed ~obs ~resilience in
   let app = ref None in
   Proc.spawn fab.engine (fun () ->
       let a =
@@ -119,8 +119,10 @@ let move_resilience =
 
 (* Crash [node] the instant the move reaches [phase]; the move's own
    supervision detects the death and rolls back to the survivor. *)
-let run_crash_point ~node ~phase =
-  let fab, primary, standby, rt1, rt2, _, _ = bed ~resilience:move_resilience in
+let run_crash_point ~obs ~node ~phase =
+  let fab, primary, standby, rt1, rt2, _, _ =
+    bed ~obs ~resilience:move_resilience
+  in
   let outcome = ref "no-crash" in
   let survivor_rt = if node = "primary" then rt2 else rt1 in
   let survivor_at_crash = ref (-1) in
@@ -155,11 +157,14 @@ let run_crash_point ~node ~phase =
 let run () =
   H.section
     "Fault tolerance: recovery time and packets lost (crash injection)";
+  (* One metrics-only hub across both sweeps; its snapshot lands next to
+     BENCH_faults.json. *)
+  let obs = Opennf_obs.Hub.create () in
   let detection_rows =
     List.map
       (fun (probe_period, misses) ->
         let budget, recovery, lost, took_over =
-          run_detection ~probe_period ~misses
+          run_detection ~obs ~probe_period ~misses
         in
         (probe_period, misses, budget, recovery, lost, took_over))
       [ (0.025, 2); (0.05, 2); (0.05, 3); (0.1, 3); (0.2, 3); (0.4, 4) ]
@@ -189,7 +194,7 @@ let run () =
       (fun phase ->
         List.map
           (fun node ->
-            let outcome, lost, recovered = run_crash_point ~node ~phase in
+            let outcome, lost, recovered = run_crash_point ~obs ~node ~phase in
             (node, phase_name phase, outcome, lost, recovered))
           (match phase with
           (* Before any state moved only the source's death is
@@ -237,7 +242,18 @@ let run () =
           crash_rows));
   output_string oc "\n  ]\n}\n";
   close_out oc;
-  H.note "wrote BENCH_faults.json"
+  H.note "wrote BENCH_faults.json";
+  let cv = Opennf_obs.Metrics.counter_value (Opennf_obs.Hub.metrics obs) in
+  let crash_errors =
+    List.length
+      (List.filter (fun (_, _, outcome, _, _) -> outcome <> "ok") crash_rows)
+  in
+  H.note
+    "metrics reconciliation: op.failed=%d, op.rollbacks=%d vs %d crash-point \
+     move errors (the detection sweep's failover app may add its own failed \
+     internal ops on top); ctrl.retries=%d"
+    (cv "op.failed") (cv "op.rollbacks") crash_errors (cv "ctrl.retries");
+  H.write_metrics ~bench:"faults" obs
 
 let () =
   H.register ~id:"faults"

@@ -44,15 +44,19 @@ type outcome = {
   messages : int;  (* Controller inbound messages over the whole run. *)
   peak_active : int;
   peak_waiting : int;
+  rep_chunks : int;  (* Chunks summed over the operation reports. *)
+  rep_bytes : int;  (* State bytes summed over the operation reports. *)
 }
 
 (* [ops] operation slots; every even slot is a loss-free move, every odd
    slot a multi-scope copy, each between its own src/dst dummy pair.
    [overlap] gives every operation the same filter (subnet 0) so the
    scheduler must serialize; otherwise each slot owns subnet [i]. *)
-let run_once ~cap ~ops ~flows ~overlap ~batch =
+let run_once ~obs ~cap ~ops ~flows ~overlap ~batch =
   let config = { Controller.default_config with sb_batch_bytes = batch } in
-  let fab = Fabric.create ~seed:(ops + flows) ~config ~max_concurrent_ops:cap () in
+  let fab =
+    Fabric.create ~seed:(ops + flows) ~obs ~config ~max_concurrent_ops:cap ()
+  in
   let pairs =
     List.init ops (fun i ->
         let d1 = Opennf_nfs.Dummy.create () in
@@ -78,6 +82,8 @@ let run_once ~cap ~ops ~flows ~overlap ~batch =
           Controller.set_route fab.ctrl (op_filter sn) nf1)
         pairs);
   let durations = ref [] in
+  let chunks = ref 0 in
+  let bytes = ref 0 in
   let finished = ref 0.0 in
   H.run_at fab ~at:1.0 (fun () ->
       let pending =
@@ -92,7 +98,10 @@ let run_once ~cap ~ops ~flows ~overlap ~batch =
               in
               fun () ->
                 match Proc.Ivar.read ivar with
-                | Ok r -> durations := Move.duration r :: !durations
+                | Ok r ->
+                  durations := Move.duration r :: !durations;
+                  chunks := !chunks + r.Move.per_chunks + r.Move.multi_chunks;
+                  bytes := !bytes + r.Move.state_bytes
                 | Error e -> failwith (Format.asprintf "%a" Op_error.pp e)
             else
               let ivar =
@@ -101,7 +110,10 @@ let run_once ~cap ~ops ~flows ~overlap ~batch =
               in
               fun () ->
                 match Proc.Ivar.read ivar with
-                | Ok r -> durations := Copy_op.duration r :: !durations
+                | Ok r ->
+                  durations := Copy_op.duration r :: !durations;
+                  chunks := !chunks + r.Copy_op.chunks;
+                  bytes := !bytes + r.Copy_op.state_bytes
                 | Error e -> failwith (Format.asprintf "%a" Op_error.pp e))
           pairs
       in
@@ -115,6 +127,8 @@ let run_once ~cap ~ops ~flows ~overlap ~batch =
     messages = Controller.messages_handled fab.ctrl;
     peak_active = stats.Sched.peak_active;
     peak_waiting = stats.Sched.peak_waiting;
+    rep_chunks = !chunks;
+    rep_bytes = !bytes;
   }
 
 let ops = 8
@@ -151,7 +165,16 @@ let json_row s o =
 let run () =
   H.section
     "Scheduler: mixed moves+copies makespan vs concurrency cap (dummy NFs)";
-  let rows = List.map (fun s -> (s, run_once ~cap:s.cap ~ops ~flows ~overlap:s.overlap ~batch:s.batch)) scenarios in
+  (* One metrics-only hub shared by every scenario's fabric: the final
+     snapshot aggregates the whole bench and must reconcile with the
+     per-operation reports. *)
+  let obs = Opennf_obs.Hub.create () in
+  let rows =
+    List.map
+      (fun s ->
+        (s, run_once ~obs ~cap:s.cap ~ops ~flows ~overlap:s.overlap ~batch:s.batch))
+      scenarios
+  in
   H.table
     ~header:
       [ "scenario"; "makespan (ms)"; "avg op (ms)"; "ctrl msgs";
@@ -171,6 +194,23 @@ let run () =
   output_string oc (String.concat ",\n" (List.map (fun (s, o) -> json_row s o) rows));
   output_string oc "\n  ]\n}\n";
   close_out oc;
-  H.note "wrote BENCH_sched.json"
+  H.note "wrote BENCH_sched.json";
+  let metrics = Opennf_obs.Hub.metrics obs in
+  let cv = Opennf_obs.Metrics.counter_value metrics in
+  let want_ops = List.length scenarios * ops in
+  let want_chunks = List.fold_left (fun a (_, o) -> a + o.rep_chunks) 0 rows in
+  let want_bytes = List.fold_left (fun a (_, o) -> a + o.rep_bytes) 0 rows in
+  H.note
+    "metrics reconciliation: op.completed=%d (reports: %d), op.chunks=%d \
+     (reports: %d), op.bytes=%d (reports: %d)%s"
+    (cv "op.completed") want_ops (cv "op.chunks") want_chunks (cv "op.bytes")
+    want_bytes
+    (if
+       cv "op.completed" = want_ops
+       && cv "op.chunks" = want_chunks
+       && cv "op.bytes" = want_bytes
+     then " -- ok"
+     else " -- MISMATCH");
+  H.write_metrics ~bench:"sched" obs
 
 let () = H.register ~id:"sched" ~descr:"op scheduler + sb batching" run

@@ -99,6 +99,20 @@ let affected_latency audit =
     ids;
   stats
 
+(* --- metrics snapshots --------------------------------------------------- *)
+
+(* Metrics snapshot written next to the BENCH_*.json files. A separate
+   file on purpose: the committed BENCH baselines must stay
+   byte-identical whether or not a bench carries an observability hub. *)
+let write_metrics ~bench hub =
+  let path = Printf.sprintf "METRICS_%s.json" bench in
+  let oc = open_out path in
+  output_string oc
+    (Opennf_obs.Export.metrics_json (Opennf_obs.Hub.metrics hub));
+  output_string oc "\n";
+  close_out oc;
+  note "wrote %s" path
+
 (* --- registry ------------------------------------------------------------ *)
 
 type experiment = { id : string; descr : string; run : unit -> unit }

@@ -108,6 +108,67 @@ let move_cmd =
       const run_move $ flows_arg $ rate_arg $ guarantee $ parallel $ early
       $ compress)
 
+(* --- trace command --------------------------------------------------------- *)
+
+(* Run a seeded loss-free move with the span tracer on, export the
+   Chrome trace and print the metrics snapshot. The exported JSON is
+   virtual-time only, so two runs with the same arguments are
+   byte-identical — the @trace-check alias diffs exactly that. *)
+let run_trace flows rate seed out timeline =
+  let obs = Opennf_obs.Hub.create ~trace:true () in
+  let fab = Fabric.create ~seed ~obs () in
+  let prads1 = Opennf_nfs.Prads.create () in
+  let prads2 = Opennf_nfs.Prads.create () in
+  let nf1, _ =
+    Fabric.add_nf fab ~name:"prads1" ~impl:(Opennf_nfs.Prads.impl prads1)
+      ~costs:Costs.prads
+  in
+  let nf2, _ =
+    Fabric.add_nf fab ~name:"prads2" ~impl:(Opennf_nfs.Prads.impl prads2)
+      ~costs:Costs.prads
+  in
+  let gen = Opennf_trace.Gen.create () in
+  let handshakes = 2.0 *. float_of_int flows /. rate in
+  let schedule, _ =
+    Opennf_trace.Gen.steady_flows gen ~flows ~rate ~start:0.05
+      ~duration:(handshakes +. 2.5) ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Proc.spawn fab.engine (fun () -> Controller.set_route fab.ctrl Filter.any nf1);
+  Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
+      Proc.spawn fab.engine (fun () ->
+          let report =
+            Move.run_exn fab.ctrl
+              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+                 ~guarantee:Move.Loss_free ~parallel:true ())
+          in
+          Format.printf "%a@." Move.pp_report report));
+  Fabric.run fab;
+  let tr = Opennf_obs.Hub.trace obs in
+  if timeline then print_string (Opennf_obs.Export.timeline tr);
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (Opennf_obs.Export.chrome tr));
+  Format.printf "wrote %d trace events to %s (load via chrome://tracing)@."
+    (Opennf_obs.Trace.length tr) out;
+  print_string (Opennf_obs.Export.metrics_json (Opennf_obs.Hub.metrics obs))
+
+let trace_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
+  let out =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ] ~doc:"Chrome trace output path.")
+  in
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"Also print the human-readable timeline.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a traced move and export a Chrome trace + metrics")
+    Term.(const run_trace $ flows_arg $ rate_arg $ seed $ out $ timeline)
+
 (* --- baseline command ----------------------------------------------------- *)
 
 let run_baseline flows rate =
@@ -210,4 +271,6 @@ let () =
     Cmd.info "opennf_demo" ~version:"1.0.0"
       ~doc:"OpenNF control-plane scenarios on a simulated testbed"
   in
-  exit (Cmd.eval (Cmd.group info [ move_cmd; baseline_cmd; scale_out_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ move_cmd; baseline_cmd; scale_out_cmd; trace_cmd ]))

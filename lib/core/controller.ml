@@ -110,6 +110,11 @@ type t = {
   mutable next_cookie : int;
   mutable next_sub : int;
   mutable handled : int;
+  trace : Opennf_obs.Trace.t;
+  m_requests : Opennf_obs.Metrics.counter;
+  m_request_bytes : Opennf_obs.Metrics.counter;
+  m_retries : Opennf_obs.Metrics.counter;
+  m_dup_pieces : Opennf_obs.Metrics.counter;
 }
 
 let base_priority = 100
@@ -118,6 +123,7 @@ let phase1_priority = 200
 let phase2_priority = 300
 
 let engine t = t.engine
+let obs t = Engine.obs t.engine
 let audit t = t.audit
 let messages_handled t = t.handled
 let resilience t = t.resilience
@@ -141,6 +147,7 @@ let rec dispatch_reply t (reply : Protocol.reply) =
         g.chunks <- (flowid, chunk) :: g.chunks;
         Option.iter (fun f -> f flowid chunk) g.on_piece
       end
+      else Opennf_obs.Metrics.incr t.m_dup_pieces
     | Some (Write _) | None -> ())
   | Protocol.Done { req; chunks } -> (
     match Hashtbl.find_opt t.pending req with
@@ -198,6 +205,8 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       ?bandwidth:config.sw_bandwidth ?faults ~name:"ctrl->sw" ()
   in
   Channel.set_handler to_switch (Switch.control switch);
+  let hub = Engine.obs engine in
+  let metrics = Opennf_obs.Hub.metrics hub in
   let t =
     {
       engine;
@@ -221,6 +230,11 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       next_cookie = 1;
       next_sub = 0;
       handled = 0;
+      trace = Opennf_obs.Hub.trace hub;
+      m_requests = Opennf_obs.Metrics.counter metrics "sb.requests";
+      m_request_bytes = Opennf_obs.Metrics.counter metrics "sb.request_bytes";
+      m_retries = Opennf_obs.Metrics.counter metrics "ctrl.retries";
+      m_dup_pieces = Opennf_obs.Metrics.counter metrics "ctrl.dup_pieces";
     }
   in
   let from_switch =
@@ -277,8 +291,20 @@ let note_deadline_miss t nf r =
   nf.misses <- nf.misses + 1;
   if nf.misses >= r.liveness_misses then declare_nf_dead t nf
 
-let send_request nf req =
-  Channel.send nf.to_nf ~size:(Protocol.request_size req) req
+let send_request t nf req =
+  let size = Protocol.request_size req in
+  Opennf_obs.Metrics.incr t.m_requests;
+  Opennf_obs.Metrics.add t.m_request_bytes size;
+  if Opennf_obs.Trace.enabled t.trace then
+    Opennf_obs.Trace.instant t.trace ~cat:"sb"
+      ~name:(Protocol.request_kind req)
+      ~attrs:
+        [|
+          ("nf", Opennf_obs.Trace.Str nf.nf_name);
+          ("bytes", Opennf_obs.Trace.Int size);
+        |]
+      ();
+  Channel.send nf.to_nf ~size req
 
 let fresh_req t =
   let r = t.next_req in
@@ -312,6 +338,15 @@ let supervise t nf ~req ~result ~resend r =
           end
           else begin
             Proc.sleep (r.backoff *. (2.0 ** float_of_int n));
+            Opennf_obs.Metrics.incr t.m_retries;
+            if Opennf_obs.Trace.enabled t.trace then
+              Opennf_obs.Trace.instant t.trace ~cat:"sb" ~name:"retry"
+                ~attrs:
+                  [|
+                    ("nf", Opennf_obs.Trace.Str nf.nf_name);
+                    ("attempt", Opennf_obs.Trace.Int (n + 1));
+                  |]
+                ();
             resend ();
             attempt (n + 1)
           end
@@ -320,11 +355,11 @@ let supervise t nf ~req ~result ~resend r =
 
 (* --- the scope-indexed southbound API ------------------------------------ *)
 
-let enable_events _t nf filter action =
-  send_request nf (Protocol.Enable_events { filter; action })
+let enable_events t nf filter action =
+  send_request t nf (Protocol.Enable_events { filter; action })
 
-let disable_events _t nf filter =
-  send_request nf (Protocol.Disable_events { filter })
+let disable_events t nf filter =
+  send_request t nf (Protocol.Disable_events { filter })
 
 let dead_result t err =
   let ivar = Proc.Ivar.create t.engine in
@@ -339,11 +374,11 @@ let start_call t nf ~req ~request ~pending_entry ~result =
     invalid_arg
       (Printf.sprintf "Controller: duplicate in-flight request id %d" req);
   Hashtbl.replace t.pending req pending_entry;
-  send_request nf request;
+  send_request t nf request;
   match t.resilience with
   | None -> ()
   | Some r ->
-    supervise t nf ~req ~result ~resend:(fun () -> send_request nf request) r
+    supervise t nf ~req ~result ~resend:(fun () -> send_request t nf request) r
 
 let get_async t nf ~scope ?on_piece ?(late_lock = false) ?(compress = false)
     filter =

@@ -71,6 +71,11 @@ val create :
     creates (switch and NF links), keyed by channel name. *)
 
 val engine : t -> Opennf_sim.Engine.t
+
+val obs : t -> Opennf_obs.Hub.t
+(** The engine's observability hub (southbound taps, op spans and the
+    scheduler's queue metrics all record through it). *)
+
 val audit : t -> Audit.t
 val resilience : t -> resilience option
 

@@ -14,9 +14,9 @@ type t = {
   link_latency : float;
 }
 
-let create ?(seed = 1) ?config ?flow_mod_delay ?packet_out_rate
+let create ?(seed = 1) ?obs ?config ?flow_mod_delay ?packet_out_rate
     ?(link_latency = 0.0002) ?fault_seed ?resilience ?max_concurrent_ops () =
-  let engine = Engine.create ~seed () in
+  let engine = Engine.create ~seed ?obs () in
   let audit = Audit.create engine in
   let faults = Faults.create engine ?seed:fault_seed () in
   let switch =

@@ -29,6 +29,7 @@ type t = {
 
 val create :
   ?seed:int ->
+  ?obs:Opennf_obs.Hub.t ->
   ?config:Controller.config ->
   ?flow_mod_delay:float ->
   ?packet_out_rate:float ->
@@ -40,7 +41,10 @@ val create :
   t
 (** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}, no
     resilience policy (legacy blocking behavior), [max_concurrent_ops]
-    per {!Sched.create}. *)
+    per {!Sched.create}. [obs] (default disabled) is handed to the
+    engine and from there reaches every component the fabric wires up:
+    op spans, scheduler queues, southbound taps, channel counters, the
+    flow table and the audit ledger all record through it. *)
 
 val add_nf :
   t ->

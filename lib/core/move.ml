@@ -306,7 +306,8 @@ let order_preserving_handoff t spec ctx =
    the controller still holds to the surviving instance, redirect the
    buffered packets there, retire any half-installed phase rules, and
    point the base route at the survivor. *)
-let rollback t spec ctx rs ~src_sub err =
+let rollback t spec ctx rs ~src_sub ~frame err =
+  let rspan = Op_engine.rollback_span frame err in
   Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub;
   List.iter (fun sub -> Controller.unsubscribe t sub) ctx.handoff_subs;
   ctx.handoff_subs <- [];
@@ -338,12 +339,15 @@ let rollback t spec ctx rs ~src_sub err =
      instance is harmless. *)
   Controller.disable_events t spec.src spec.filter;
   Controller.disable_events t spec.dst spec.filter;
+  Op_engine.rollback_done frame rspan;
   Error err
 
 let run ?notify_release t spec =
-  let* () = validate spec in
   let engine = Controller.engine t in
-  let frame = Op_engine.start t ~options:spec.options in
+  let frame = Op_engine.start ~kind:"move" t ~options:spec.options in
+  Op_engine.finish frame
+  @@
+  let* () = validate spec in
   let per_tally = Op_engine.tally () and multi_tally = Op_engine.tally () in
   let lossfree = spec.guarantee <> No_guarantee in
   let rs =
@@ -478,7 +482,7 @@ let run ?notify_release t spec =
         state_bytes = per_tally.Op_engine.bytes + multi_tally.Op_engine.bytes;
         relayed = rs.relayed;
       }
-  | Error err -> rollback t spec ctx rs ~src_sub err
+  | Error err -> rollback t spec ctx rs ~src_sub ~frame err
 
 let run_exn t spec = Op_error.ok_exn (run t spec)
 let start t spec = Op_engine.background t (fun () -> run t spec)

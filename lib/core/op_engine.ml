@@ -25,13 +25,86 @@ type frame = {
   engine : Engine.t;
   started : float;
   options : Op_options.t;
+  obs : Opennf_obs.Hub.t;
+  span : int;  (** The operation's open trace span; 0 when not tracing. *)
 }
 
-let start ctrl ~options =
+let start ?(kind = "op") ctrl ~options =
   let engine = Controller.engine ctrl in
-  { ctrl; engine; started = Engine.now engine; options }
+  let obs = Controller.obs ctrl in
+  let metrics = Opennf_obs.Hub.metrics obs in
+  Opennf_obs.Metrics.incr (Opennf_obs.Metrics.counter metrics "op.started");
+  let span =
+    Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op" ~name:kind
+      ()
+  in
+  { ctrl; engine; started = Engine.now engine; options; obs; span }
 
 let now frame = Engine.now frame.engine
+
+(* --- observation ----------------------------------------------------------- *)
+
+let str s = Opennf_obs.Trace.Str s
+
+let failed_counter_name = function
+  | Op_error.Nf_crashed _ -> "op.failed.nf_crashed"
+  | Op_error.Timeout _ -> "op.failed.timeout"
+  | Op_error.Aborted _ -> "op.failed.aborted"
+  | Op_error.Bad_spec _ -> "op.failed.bad_spec"
+
+(* Terminal accounting for one operation: outcome counters, the duration
+   histogram, and the span close (status + error attrs). Passes the
+   result through so operations end with [finish frame @@ ...]. *)
+let finish frame result =
+  let metrics = Opennf_obs.Hub.metrics frame.obs in
+  if Opennf_obs.Metrics.enabled metrics then begin
+    (match result with
+    | Ok _ ->
+      Opennf_obs.Metrics.incr (Opennf_obs.Metrics.counter metrics "op.completed")
+    | Error e ->
+      Opennf_obs.Metrics.incr (Opennf_obs.Metrics.counter metrics "op.failed");
+      Opennf_obs.Metrics.incr
+        (Opennf_obs.Metrics.counter metrics (failed_counter_name e)));
+    Opennf_obs.Metrics.observe
+      (Opennf_obs.Metrics.hist metrics "op.duration_s")
+      (Engine.now frame.engine -. frame.started)
+  end;
+  if frame.span <> 0 then begin
+    let trace = Opennf_obs.Hub.trace frame.obs in
+    match result with
+    | Ok _ ->
+      Opennf_obs.Trace.span_close trace frame.span
+        ~attrs:[| ("status", str "ok") |] ()
+    | Error e ->
+      Opennf_obs.Trace.span_close trace frame.span
+        ~attrs:
+          [| ("status", str "error"); ("error", str (Op_error.kind e)) |]
+        ()
+  end;
+  result
+
+(* Satellite of the rollback path: every rollback stamps the triggering
+   error onto the op's trace as a child span, so a failed move's
+   unwinding is attributable in the export. *)
+let rollback_span frame err =
+  Opennf_obs.Metrics.incr
+    (Opennf_obs.Metrics.counter (Opennf_obs.Hub.metrics frame.obs)
+       "op.rollbacks");
+  let trace = Opennf_obs.Hub.trace frame.obs in
+  if Opennf_obs.Trace.enabled trace then
+    Opennf_obs.Trace.span_open trace ~parent:frame.span ~cat:"op"
+      ~name:"rollback"
+      ~attrs:
+        [|
+          ("error", str (Op_error.kind err));
+          ("detail", str (Op_error.to_string err));
+        |]
+      ()
+  else 0
+
+let rollback_done frame span =
+  if span <> 0 then
+    Opennf_obs.Trace.span_close (Opennf_obs.Hub.trace frame.obs) span ()
 
 let deadline_guard frame ~nf =
   match frame.options.Op_options.deadline with
@@ -75,8 +148,32 @@ let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
     ?(delete = false) ?(late_lock = false) ?(compress = false) ?record
     ?on_captured ?on_deleted ?on_installed ?on_put_ack tally =
   let t = frame.ctrl in
-  let fire hook = Option.iter (fun f -> f ()) hook in
-  let* chunks =
+  let trace = Opennf_obs.Hub.trace frame.obs in
+  let tspan =
+    if Opennf_obs.Trace.enabled trace then
+      Opennf_obs.Trace.span_open trace ~parent:frame.span ~cat:"op"
+        ~name:"transfer"
+        ~attrs:
+          [|
+            ("scope", str (Scope.to_string scope));
+            ("src", str (Controller.nf_name src));
+            ("dst", str (Controller.nf_name dst));
+            ("parallel", Opennf_obs.Trace.Bool parallel);
+          |]
+        ()
+    else 0
+  in
+  (* Phase marks are emitted alongside the progress hooks; they read the
+     clock but never schedule, so they cannot perturb virtual time. *)
+  let phase name =
+    if tspan <> 0 then
+      Opennf_obs.Trace.instant trace ~parent:tspan ~cat:"op" ~name ()
+  in
+  let fire ph hook =
+    phase ph;
+    Option.iter (fun f -> f ()) hook
+  in
+  let result =
     match (scope : Scope.t) with
     | Scope.All ->
       (* All-flows state never streams, is never deleted (there is no
@@ -107,11 +204,15 @@ let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
               | Some f ->
                 Proc.spawn frame.engine (fun () ->
                     match Proc.Ivar.read ack with
-                    | Ok () -> f flowid
+                    | Ok () ->
+                      phase "ack";
+                      f flowid
                     | Error _ -> ()))
             filter
         in
-        (match got with Ok _ -> fire on_captured | Error _ -> ());
+        (match got with
+        | Ok _ -> fire "captured" on_captured
+        | Error _ -> ());
         (* Drain the pipelined dels and puts even when something failed,
            so no supervised call is left dangling past a rollback. *)
         let first_err = drain_pipelined !pending in
@@ -119,27 +220,57 @@ let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
         | (Error _ as e), _ -> e
         | Ok _, Some e -> Error e
         | Ok chunks, None ->
-          fire on_installed;
+          fire "installed" on_installed;
           Ok chunks
       end
       else begin
         let* chunks = Controller.get t src ~scope ~late_lock ~compress filter in
         Option.iter (fun r -> r := chunks) record;
-        fire on_captured;
+        fire "captured" on_captured;
         let* () =
           if delete then Controller.del t src ~scope (List.map fst chunks)
           else Ok ()
         in
-        if delete then fire on_deleted;
+        if delete then fire "deleted" on_deleted;
         let* () =
           if chunks <> [] then Controller.put t dst ~scope chunks else Ok ()
         in
-        fire on_installed;
+        fire "installed" on_installed;
         (match on_put_ack with
         | None -> ()
-        | Some f -> List.iter (fun (flowid, _) -> f flowid) chunks);
+        | Some f ->
+          List.iter
+            (fun (flowid, _) ->
+              phase "ack";
+              f flowid)
+            chunks);
         Ok chunks
       end
   in
-  account tally chunks;
-  Ok ()
+  match result with
+  | Error e ->
+    if tspan <> 0 then
+      Opennf_obs.Trace.span_close trace tspan
+        ~attrs:[| ("status", str "error"); ("error", str (Op_error.kind e)) |]
+        ();
+    Error e
+  | Ok chunks ->
+    account tally chunks;
+    let metrics = Opennf_obs.Hub.metrics frame.obs in
+    if Opennf_obs.Metrics.enabled metrics then begin
+      Opennf_obs.Metrics.add
+        (Opennf_obs.Metrics.counter metrics "op.chunks")
+        (List.length chunks);
+      Opennf_obs.Metrics.add
+        (Opennf_obs.Metrics.counter metrics "op.bytes")
+        (chunk_bytes chunks)
+    end;
+    if tspan <> 0 then
+      Opennf_obs.Trace.span_close trace tspan
+        ~attrs:
+          [|
+            ("status", str "ok");
+            ("chunks", Opennf_obs.Trace.Int (List.length chunks));
+          |]
+        ();
+    Ok ()

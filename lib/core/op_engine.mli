@@ -38,13 +38,32 @@ type frame = {
   engine : Opennf_sim.Engine.t;
   started : float;  (** Virtual time the operation began. *)
   options : Op_options.t;
+  obs : Opennf_obs.Hub.t;  (** The controller's observability hub. *)
+  span : int;  (** The op's open trace span; 0 when not tracing. *)
 }
 (** Per-operation context: controller handle, start stamp and the
     resolved {!Op_options.t}. Created once per run and threaded through
     the transfer/guard helpers. *)
 
-val start : Controller.t -> options:Op_options.t -> frame
+val start : ?kind:string -> Controller.t -> options:Op_options.t -> frame
+(** Opens the op's trace span under [kind] (["move"], ["copy"], ...;
+    default ["op"]) and bumps the ["op.started"] counter. *)
+
 val now : frame -> float
+
+val finish :
+  frame -> ('a, Op_error.t) result -> ('a, Op_error.t) result
+(** Terminal accounting: bumps ["op.completed"] or
+    ["op.failed"]/["op.failed.<kind>"], observes ["op.duration_s"], and
+    closes the op span with status (and error) attributes. Returns the
+    result unchanged, so operations end with [finish frame @@ ...]. *)
+
+val rollback_span : frame -> Op_error.t -> int
+(** Open a ["rollback"] child span stamped with the triggering error
+    (kind + rendered detail) and bump ["op.rollbacks"]. Close it with
+    {!rollback_done} once the unwind completes. *)
+
+val rollback_done : frame -> int -> unit
 
 val deadline_guard : frame -> nf:string -> (unit, Op_error.t) result
 (** [Error (Timeout _)] (blaming [nf]) once the operation has run longer

@@ -15,6 +15,13 @@ let pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Static strings: tracing and metrics label errors without allocating. *)
+let kind = function
+  | Nf_crashed _ -> "nf_crashed"
+  | Timeout _ -> "timeout"
+  | Aborted _ -> "aborted"
+  | Bad_spec _ -> "bad_spec"
+
 let ok_exn = function Ok v -> v | Error e -> raise (Op_failed e)
 
 let () =

@@ -23,5 +23,9 @@ exception Op_failed of t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val kind : t -> string
+(** Constant constructor label (["timeout"], ["nf_crashed"], ...) for
+    metrics names and trace attributes; never allocates. *)
+
 val ok_exn : ('a, t) result -> 'a
 (** [Ok v -> v]; [Error e -> raise (Op_failed e)]. *)

@@ -48,7 +48,13 @@ module Footprint = struct
   let release held key = held.released <- Flow.canonical key :: held.released
 end
 
-type entry = { id : int; footprint : Footprint.t; start : unit -> unit }
+type entry = {
+  id : int;
+  footprint : Footprint.t;
+  start : unit -> unit;
+  enq_vt : float;  (** Virtual time this entry joined the queue. *)
+  span : int;  (** Open "sched" trace span; 0 when not tracing. *)
+}
 
 type t = {
   engine : Engine.t;
@@ -61,6 +67,11 @@ type t = {
   mutable completed : int;
   mutable peak_active : int;
   mutable peak_waiting : int;
+  trace : Opennf_obs.Trace.t;
+  m_submitted : Opennf_obs.Metrics.counter;
+  m_admitted : Opennf_obs.Metrics.counter;
+  g_depth : Opennf_obs.Metrics.gauge;
+  h_wait : Opennf_obs.Metrics.hist;
 }
 
 type stats = {
@@ -73,6 +84,8 @@ type stats = {
 let create ?(max_concurrent = 8) ctrl =
   if max_concurrent < 1 then
     invalid_arg "Sched.create: max_concurrent must be at least 1";
+  let obs = Controller.obs ctrl in
+  let metrics = Opennf_obs.Hub.metrics obs in
   {
     engine = Controller.engine ctrl;
     ctrl;
@@ -84,6 +97,11 @@ let create ?(max_concurrent = 8) ctrl =
     completed = 0;
     peak_active = 0;
     peak_waiting = 0;
+    trace = Opennf_obs.Hub.trace obs;
+    m_submitted = Opennf_obs.Metrics.counter metrics "sched.submitted";
+    m_admitted = Opennf_obs.Metrics.counter metrics "sched.admitted";
+    g_depth = Opennf_obs.Metrics.gauge metrics "sched.queue_depth";
+    h_wait = Opennf_obs.Metrics.hist metrics "sched.wait_s";
   }
 
 let ctrl t = t.ctrl
@@ -120,18 +138,28 @@ let pump t =
         t.active <- t.active @ [ e ];
         t.admitted <- t.admitted + 1;
         t.peak_active <- max t.peak_active (List.length t.active);
+        Opennf_obs.Metrics.incr t.m_admitted;
+        Opennf_obs.Metrics.observe t.h_wait (Engine.now t.engine -. e.enq_vt);
+        if e.span <> 0 then
+          Opennf_obs.Trace.instant t.trace ~parent:e.span ~cat:"sched"
+            ~name:"admit" ();
         e.start ();
         scan blocked rest
       end
   in
-  t.waiting <- scan [] t.waiting
+  t.waiting <- scan [] t.waiting;
+  Opennf_obs.Metrics.set t.g_depth (float_of_int (List.length t.waiting))
 
 let enqueue t entry =
   t.waiting <- t.waiting @ [ entry ];
   t.peak_waiting <- max t.peak_waiting (List.length t.waiting);
+  Opennf_obs.Metrics.incr t.m_submitted;
   pump t
 
 let retire t id =
+  (match List.find_opt (fun e -> e.id = id) t.active with
+  | Some e when e.span <> 0 -> Opennf_obs.Trace.span_close t.trace e.span ()
+  | Some _ | None -> ());
   t.active <- List.filter (fun e -> e.id <> id) t.active;
   t.completed <- t.completed + 1;
   pump t
@@ -141,8 +169,27 @@ let fresh_id t =
   t.next_id <- t.next_id + 1;
   id
 
+(* The span's conflict-class attribute names what the entry can collide
+   on: flow filters, instance reads/writes, and route updates. Built
+   only when tracing. *)
+let conflict_label (fp : Footprint.t) =
+  let parts =
+    List.map Filter.to_string fp.Footprint.filters
+    @ List.map (fun w -> "w:" ^ w) fp.Footprint.writes
+    @ List.map (fun r -> "r:" ^ r) fp.Footprint.reads
+  in
+  String.concat " " (if fp.Footprint.routes then parts @ [ "routes" ] else parts)
+
+let open_span t ~name footprint =
+  if Opennf_obs.Trace.enabled t.trace then
+    Opennf_obs.Trace.span_open t.trace ~cat:"sched" ~name
+      ~attrs:[| ("class", Opennf_obs.Trace.Str (conflict_label footprint)) |]
+      ()
+  else 0
+
 let submit t ~footprint body =
   let id = fresh_id t in
+  let span = open_span t ~name:"op" footprint in
   let ivar = Proc.Ivar.create t.engine in
   let start () =
     Proc.spawn t.engine (fun () ->
@@ -153,7 +200,7 @@ let submit t ~footprint body =
         retire t id;
         Proc.Ivar.fill ivar result)
   in
-  enqueue t { id; footprint; start };
+  enqueue t { id; footprint; start; enq_vt = Engine.now t.engine; span };
   ivar
 
 let run t ~footprint body = Proc.Ivar.read (submit t ~footprint body)
@@ -172,9 +219,10 @@ type handle = {
 
 let acquire t ~footprint =
   let id = fresh_id t in
+  let span = open_span t ~name:"hold" footprint in
   let admitted = Proc.Ivar.create t.engine in
   let start () = Proc.Ivar.fill admitted () in
-  enqueue t { id; footprint; start };
+  enqueue t { id; footprint; start; enq_vt = Engine.now t.engine; span };
   Proc.Ivar.read admitted;
   { h_id = id; h_footprint = footprint; h_held = true }
 

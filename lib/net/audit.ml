@@ -1,15 +1,19 @@
 module Engine = Opennf_sim.Engine
+module Trace = Opennf_obs.Trace
 
 type record = { pkt : int; key : Flow.key; nf : string; time : float }
 
+(* The ledger is a view over the span tracer: every audit record is a
+   trace instant under cat ["audit"], so when the simulation runs with
+   tracing enabled the packet ledger and the op/sched/southbound spans
+   land interleaved in one deterministic buffer (and one Chrome export).
+   When the hub is not tracing, the audit keeps a private always-on
+   tracer so its queries — the ground truth for the safety tests — keep
+   working unchanged. Index hashtables (first-times, arrival dedup) are
+   maintained at log time exactly as before. *)
 type t = {
   engine : Engine.t;
-  mutable arrivals : record list;  (** Reverse chronological. *)
-  mutable forwards : record list;  (** Reverse chronological. *)
-  mutable processes : record list;
-  mutable drops : record list;
-  mutable events : record list;
-  mutable buffers : record list;
+  trace : Trace.t;
   arrived : (int, unit) Hashtbl.t;
   first_forward : (int, float) Hashtbl.t;
   first_arrival : (int, float) Hashtbl.t;
@@ -17,48 +21,100 @@ type t = {
 }
 
 let create engine =
+  let obs = Engine.obs engine in
+  let trace =
+    if Opennf_obs.Hub.tracing obs then Opennf_obs.Hub.trace obs
+    else begin
+      let tr = Trace.create () in
+      Trace.set_clock tr (fun () -> Engine.now engine);
+      tr
+    end
+  in
   {
     engine;
-    arrivals = [];
+    trace;
     arrived = Hashtbl.create 1024;
-    forwards = [];
-    processes = [];
-    drops = [];
-    events = [];
-    buffers = [];
     first_forward = Hashtbl.create 1024;
     first_arrival = Hashtbl.create 1024;
     first_process = Hashtbl.create 1024;
   }
 
-let record t (p : Packet.t) name =
-  { pkt = p.id; key = p.key; nf = name; time = Engine.now t.engine }
+(* Standard IP protocol numbers, so traces read like packet captures. *)
+let proto_code = function Flow.Tcp -> 6 | Flow.Udp -> 17 | Flow.Icmp -> 1
+let proto_of_code = function 17 -> Flow.Udp | 1 -> Flow.Icmp | _ -> Flow.Tcp
 
-let remember tbl id time = if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id time
+(* Attribute layout is positional: decode indexes straight in. *)
+let log t name (p : Packet.t) nf =
+  let k = p.Packet.key in
+  Trace.instant t.trace ~cat:"audit" ~name
+    ~attrs:
+      [|
+        ("pkt", Trace.Int p.Packet.id);
+        ("nf", Trace.Str nf);
+        ("src", Trace.Int (Ipaddr.to_int k.Flow.src_ip));
+        ("dst", Trace.Int (Ipaddr.to_int k.Flow.dst_ip));
+        ("proto", Trace.Int (proto_code k.Flow.proto));
+        ("sport", Trace.Int k.Flow.src_port);
+        ("dport", Trace.Int k.Flow.dst_port);
+      |]
+    ()
+
+let decode (ev : Trace.ev) =
+  let a = ev.Trace.attrs in
+  let int i = match snd a.(i) with Trace.Int v -> v | _ -> 0 in
+  let str i = match snd a.(i) with Trace.Str s -> s | _ -> "" in
+  {
+    pkt = int 0;
+    nf = str 1;
+    key =
+      Flow.make
+        ~src:(Ipaddr.of_int (int 2))
+        ~dst:(Ipaddr.of_int (int 3))
+        ~proto:(proto_of_code (int 4))
+        ~sport:(int 5) ~dport:(int 6) ();
+    time = ev.Trace.vt;
+  }
+
+(* Chronological records of one audit event kind: the trace buffer is
+   already in emission order, so a single forward scan suffices. *)
+let records t wanted =
+  List.rev
+    (Trace.fold t.trace
+       (fun acc ev ->
+         if
+           ev.Trace.kind = Trace.Instant
+           && ev.Trace.cat = "audit"
+           && ev.Trace.name = wanted
+         then decode ev :: acc
+         else acc)
+       [])
+
+let remember tbl id time =
+  if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id time
+
+let now t = Engine.now t.engine
 
 let log_switch_arrival t p =
   if not (Hashtbl.mem t.arrived p.Packet.id) then begin
     Hashtbl.add t.arrived p.Packet.id ();
-    t.arrivals <- record t p "sw" :: t.arrivals
+    log t "arrival" p "sw"
   end
 
 let log_forward t p ~dst =
-  let r = record t p dst in
-  t.forwards <- r :: t.forwards;
-  remember t.first_forward p.id r.time
+  log t "forward" p dst;
+  remember t.first_forward p.Packet.id (now t)
 
 let log_nf_arrival t p ~nf =
-  let r = record t p nf in
-  remember t.first_arrival p.id r.time
+  log t "nf_arrival" p nf;
+  remember t.first_arrival p.Packet.id (now t)
 
 let log_process t p ~nf =
-  let r = record t p nf in
-  t.processes <- r :: t.processes;
-  remember t.first_process p.id r.time
+  log t "process" p nf;
+  remember t.first_process p.Packet.id (now t)
 
-let log_drop t p ~nf = t.drops <- record t p nf :: t.drops
-let log_evented t p ~nf = t.events <- record t p nf :: t.events
-let log_buffered t p ~nf = t.buffers <- record t p nf :: t.buffers
+let log_drop t p ~nf = log t "drop" p nf
+let log_evented t p ~nf = log t "event" p nf
+let log_buffered t p ~nf = log t "buffer" p nf
 
 let in_filter filter (r : record) =
   match filter with None -> true | Some f -> Filter.matches_flow f r.key
@@ -74,22 +130,25 @@ let forwarded_order ?filter t =
         Some r.pkt
       end
       else None)
-    (List.rev t.forwards)
+    (records t "forward")
 
 let processed_order ?filter ?nf t =
   List.filter_map
     (fun r -> if in_filter filter r && by_nf nf r then Some r.pkt else None)
-    (List.rev t.processes)
+    (records t "process")
 
-let drop_count ?nf t = List.length (List.filter (by_nf nf) t.drops)
-let processed_count ?nf t = List.length (List.filter (by_nf nf) t.processes)
+let drop_count ?nf t = List.length (List.filter (by_nf nf) (records t "drop"))
+
+let processed_count ?nf t =
+  List.length (List.filter (by_nf nf) (records t "process"))
 
 let lost ?filter t ~nfs =
+  let processes = records t "process" in
   let processed = Hashtbl.create 1024 in
   List.iter
     (fun (r : record) ->
       if List.mem r.nf nfs then Hashtbl.replace processed r.pkt ())
-    t.processes;
+    processes;
   let seen = Hashtbl.create 64 in
   List.filter_map
     (fun (r : record) ->
@@ -103,7 +162,7 @@ let lost ?filter t ~nfs =
         Some r.pkt
       end
       else None)
-    (List.rev t.forwards)
+    (records t "forward")
 
 let duplicated ?filter t =
   let counts = Hashtbl.create 1024 in
@@ -112,7 +171,7 @@ let duplicated ?filter t =
       if in_filter filter r then
         Hashtbl.replace counts r.pkt
           (1 + Option.value ~default:0 (Hashtbl.find_opt counts r.pkt)))
-    t.processes;
+    (records t "process");
   Hashtbl.fold (fun id n acc -> if n > 1 then id :: acc else acc) counts []
 
 let violations_against t reference_order ?filter () =
@@ -139,7 +198,7 @@ let order_violations ?filter t =
 let arrival_order t filter =
   List.filter_map
     (fun r -> if in_filter filter r then Some r.pkt else None)
-    (List.rev t.arrivals)
+    (records t "arrival")
 
 let arrival_order_violations ?filter t =
   violations_against t (arrival_order t filter) ?filter ()
@@ -152,16 +211,14 @@ let added_latency t ~pkt =
   | _ -> None
 
 let evented_ids ?nf t =
-  List.rev
-    (List.filter_map
-       (fun r -> if by_nf nf r then Some r.pkt else None)
-       t.events)
+  List.filter_map
+    (fun r -> if by_nf nf r then Some r.pkt else None)
+    (records t "event")
 
 let buffered_ids ?nf t =
-  List.rev
-    (List.filter_map
-       (fun r -> if by_nf nf r then Some r.pkt else None)
-       t.buffers)
+  List.filter_map
+    (fun r -> if by_nf nf r then Some r.pkt else None)
+    (records t "buffer")
 
 let first_forward_time t ~pkt = Hashtbl.find_opt t.first_forward pkt
 let process_time t ~pkt = Hashtbl.find_opt t.first_process pkt

@@ -7,11 +7,18 @@
     - {b loss-freedom}: every packet the switch forwarded toward NF
       instances is eventually processed by exactly one instance;
     - {b order preservation}: the cross-instance processing order equals
-      the switch's (first-time) forwarding order. *)
+      the switch's (first-time) forwarding order.
+
+    Records are stored as trace instants (cat ["audit"]) through the
+    same {!Opennf_obs.Trace} sink the op/scheduler spans use: when the
+    engine's hub is tracing, audit events share its buffer (and appear
+    in the Chrome export); otherwise the ledger keeps a private
+    always-on tracer and this API behaves exactly as before. *)
 
 type t
 
 val create : Opennf_sim.Engine.t -> t
+(** Shares the engine hub's tracer when it is tracing. *)
 
 (** {1 Recording} *)
 

@@ -14,9 +14,15 @@ type 'a t = {
   mutable sent_count : int;
   mutable bytes_sent : int;
   mutable dropped_count : int;
+  trace : Opennf_obs.Trace.t;
+  m_msgs : Opennf_obs.Metrics.counter;
+  m_bytes : Opennf_obs.Metrics.counter;
+  m_dropped : Opennf_obs.Metrics.counter;
 }
 
 let create engine ~latency ?bandwidth ?faults ~name () =
+  let obs = Opennf_sim.Engine.obs engine in
+  let metrics = Opennf_obs.Hub.metrics obs in
   {
     engine;
     latency;
@@ -30,6 +36,10 @@ let create engine ~latency ?bandwidth ?faults ~name () =
     sent_count = 0;
     bytes_sent = 0;
     dropped_count = 0;
+    trace = Opennf_obs.Hub.trace obs;
+    m_msgs = Opennf_obs.Metrics.counter metrics "ch.msgs";
+    m_bytes = Opennf_obs.Metrics.counter metrics "ch.bytes";
+    m_dropped = Opennf_obs.Metrics.counter metrics "ch.dropped";
   }
 
 let drain_early t =
@@ -66,6 +76,11 @@ let send t ?(size = 0) msg =
   t.busy_until <- start +. tx_time;
   t.sent_count <- t.sent_count + 1;
   t.bytes_sent <- t.bytes_sent + size;
+  Opennf_obs.Metrics.incr t.m_msgs;
+  Opennf_obs.Metrics.add t.m_bytes size;
+  if Opennf_obs.Trace.enabled t.trace then
+    Opennf_obs.Trace.instant t.trace ~cat:"ch" ~name:t.name
+      ~attrs:[| ("bytes", Opennf_obs.Trace.Int size) |] ();
   match t.faults with
   | None ->
     let delivery = Float.max (t.busy_until +. t.latency) t.last_delivery in
@@ -79,7 +94,10 @@ let send t ?(size = 0) msg =
       Float.max (t.busy_until +. t.latency +. jitter) t.last_delivery
     in
     t.last_delivery <- delivery;
-    if copies = 0 then t.dropped_count <- t.dropped_count + 1
+    if copies = 0 then begin
+      t.dropped_count <- t.dropped_count + 1;
+      Opennf_obs.Metrics.incr t.m_dropped
+    end
     else
       for _ = 1 to copies do
         Engine.schedule_at t.engine delivery (fun () -> deliver t msg size)

@@ -62,6 +62,9 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable next_seq : int;
+  m_lookups : Opennf_obs.Metrics.counter;
+  m_hits : Opennf_obs.Metrics.counter;
+  m_misses : Opennf_obs.Metrics.counter;
 }
 
 let dummy_key =
@@ -80,7 +83,8 @@ let cache_slots len =
 let cache_initial = 256
 let cache_max = 1 lsl 17
 
-let create () =
+let create ?(obs = Opennf_obs.Hub.disabled) () =
+  let metrics = Opennf_obs.Hub.metrics obs in
   {
     by_cookie = Hashtbl.create 64;
     by_seq = Omap.create ~cmp:Int.compare;
@@ -92,6 +96,9 @@ let create () =
     cache_hits = 0;
     cache_misses = 0;
     next_seq = 0;
+    m_lookups = Opennf_obs.Metrics.counter metrics "ft.lookups";
+    m_hits = Opennf_obs.Metrics.counter metrics "ft.cache_hits";
+    m_misses = Opennf_obs.Metrics.counter metrics "ft.cache_misses";
   }
 
 let exact_keys rule =
@@ -229,12 +236,14 @@ let record_match = function
     Some e.rule
 
 let lookup t p =
+  Opennf_obs.Metrics.incr t.m_lookups;
   if t.flag_rules > 0 then record_match (decide t p)
   else begin
     let key = p.Packet.key in
     let slot = t.cache.(Flow.hash key land (Array.length t.cache - 1)) in
     if slot.d_gen = t.generation && Flow.equal slot.d_key key then begin
       t.cache_hits <- t.cache_hits + 1;
+      Opennf_obs.Metrics.incr t.m_hits;
       if slot.d_hit then begin
         let r = slot.d_rule in
         r.matched <- r.matched + 1;
@@ -244,6 +253,7 @@ let lookup t p =
     end
     else begin
       t.cache_misses <- t.cache_misses + 1;
+      Opennf_obs.Metrics.incr t.m_misses;
       let winner = decide t p in
       slot.d_key <- key;
       slot.d_gen <- t.generation;

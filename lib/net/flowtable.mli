@@ -14,7 +14,9 @@ type rule = {
 
 type t
 
-val create : unit -> t
+val create : ?obs:Opennf_obs.Hub.t -> unit -> t
+(** [obs] (default disabled) records ["ft.lookups"],
+    ["ft.cache_hits"] and ["ft.cache_misses"] counters. *)
 
 val install :
   t -> cookie:int -> priority:int -> filters:Filter.t list ->

@@ -1,0 +1,15 @@
+(** Exporters over the trace buffer and metrics registry. *)
+
+val chrome : ?wall:bool -> Trace.t -> string
+(** Chrome [trace_event] JSON ([{"traceEvents": [...]}]): spans as
+    async nestable ["b"]/["e"] pairs matched by cat+id, instants as
+    ["i"], timestamps in virtual-time microseconds. Deterministic:
+    byte-identical across runs of the same seeded scenario. [wall]
+    (default false) adds wall-clock stamps — profiling only, breaks
+    byte-identity. Load via [chrome://tracing] or Perfetto. *)
+
+val timeline : Trace.t -> string
+(** Human-readable one-line-per-event dump in emission order. *)
+
+val metrics_json : Metrics.t -> string
+(** Counters/gauges/histogram summaries as JSON, sorted by name. *)

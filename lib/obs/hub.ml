@@ -1,0 +1,13 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let disabled = { trace = Trace.disabled; metrics = Metrics.null }
+
+let create ?(trace = false) ?(metrics = true) () =
+  {
+    trace = (if trace then Trace.create () else Trace.disabled);
+    metrics = (if metrics then Metrics.create () else Metrics.null);
+  }
+
+let trace t = t.trace
+let metrics t = t.metrics
+let tracing t = Trace.enabled t.trace

@@ -1,0 +1,19 @@
+(** The observability hub a simulation threads through its components:
+    one span tracer plus one metrics registry. {!disabled} — the default
+    everywhere — records nothing and allocates nothing. *)
+
+type t
+
+val disabled : t
+(** No tracer, no metrics; every tap degrades to a boolean check. *)
+
+val create : ?trace:bool -> ?metrics:bool -> unit -> t
+(** [trace] defaults to false (tracing is opt-in, it buffers every
+    event); [metrics] defaults to true. *)
+
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val tracing : t -> bool
+(** Whether the tracer records — call sites use this to skip building
+    attribute arrays on the disabled path. *)

@@ -1,0 +1,86 @@
+module Stats = Opennf_util.Stats
+
+type counter = { mutable c : int; c_on : bool }
+type gauge = { mutable g : float; mutable g_peak : float; g_on : bool }
+type hist = { h : Stats.Histogram.t; h_on : bool }
+
+type t = {
+  on : bool;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    on = true;
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+  }
+
+(* The null registry hands out shared dead instruments whose update
+   functions check [*_on] and do nothing — so components can hold
+   handles unconditionally and the disabled path neither allocates nor
+   writes (safe to share across domains). *)
+let null =
+  {
+    on = false;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    hists = Hashtbl.create 1;
+  }
+
+let enabled t = t.on
+
+let null_counter = { c = 0; c_on = false }
+let null_gauge = { g = 0.0; g_peak = 0.0; g_on = false }
+let null_hist = { h = Stats.Histogram.create (); h_on = false }
+
+let intern tbl name make =
+  match Hashtbl.find_opt tbl name with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    Hashtbl.replace tbl name v;
+    v
+
+let counter t name =
+  if not t.on then null_counter
+  else intern t.counters name (fun () -> { c = 0; c_on = true })
+
+let gauge t name =
+  if not t.on then null_gauge
+  else intern t.gauges name (fun () -> { g = 0.0; g_peak = 0.0; g_on = true })
+
+let hist t name =
+  if not t.on then null_hist
+  else
+    intern t.hists name (fun () ->
+        { h = Stats.Histogram.create (); h_on = true })
+
+let incr c = if c.c_on then c.c <- c.c + 1
+let add c n = if c.c_on then c.c <- c.c + n
+let value c = c.c
+
+let set g v =
+  if g.g_on then begin
+    g.g <- v;
+    if v > g.g_peak then g.g_peak <- v
+  end
+
+let observe h x = if h.h_on then Stats.Histogram.add h.h x
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.c | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = List.map (fun (n, c) -> (n, c.c)) (sorted_bindings t.counters)
+
+let gauges t =
+  List.map (fun (n, g) -> (n, g.g, g.g_peak)) (sorted_bindings t.gauges)
+
+let hists t = List.map (fun (n, h) -> (n, h.h)) (sorted_bindings t.hists)

@@ -1,0 +1,54 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    Instruments are interned by name and handed back as handles so hot
+    paths pay one mutable-field write per update, not a hashtable probe.
+    The {!null} registry returns shared dead handles whose updates are a
+    boolean check — components hold handles unconditionally and the
+    disabled path allocates nothing and writes nothing (so the null
+    handles are safe to share across domains). *)
+
+type counter
+type gauge
+type hist
+
+type t
+
+val create : unit -> t
+
+val null : t
+(** The shared never-records registry. *)
+
+val enabled : t -> bool
+
+(** {1 Handles} *)
+
+val counter : t -> string -> counter
+(** Find-or-create. On {!null} returns the shared dead counter. *)
+
+val gauge : t -> string -> gauge
+val hist : t -> string -> hist
+
+(** {1 Updates} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+(** Also tracks the peak value ever set. *)
+
+val observe : hist -> float -> unit
+
+(** {1 Reading} *)
+
+val value : counter -> int
+
+val counter_value : t -> string -> int
+(** 0 when the counter was never created. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float * float) list
+(** [(name, last, peak)], sorted by name. *)
+
+val hists : t -> (string * Opennf_util.Stats.Histogram.t) list
+(** Sorted by name. *)

@@ -1,0 +1,138 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Begin | End | Instant
+
+type ev = {
+  kind : kind;
+  id : int;
+  parent : int;
+  cat : string;
+  name : string;
+  vt : float;
+  wall : float;
+  attrs : (string * value) array;
+}
+
+type t = {
+  on : bool;
+  mutable clock : unit -> float;
+  mutable sink : ev -> unit;
+  mutable evs : ev array;
+  mutable len : int;
+  mutable next_id : int;
+}
+
+let no_attrs : (string * value) array = [||]
+
+let dummy_ev =
+  {
+    kind = Instant;
+    id = 0;
+    parent = 0;
+    cat = "";
+    name = "";
+    vt = 0.0;
+    wall = 0.0;
+    attrs = no_attrs;
+  }
+
+let append t ev =
+  let cap = Array.length t.evs in
+  if t.len = cap then begin
+    let bigger = Array.make (Stdlib.max 1024 (2 * cap)) dummy_ev in
+    Array.blit t.evs 0 bigger 0 t.len;
+    t.evs <- bigger
+  end;
+  t.evs.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let create ?(enabled = true) () =
+  let t =
+    {
+      on = enabled;
+      clock = (fun () -> 0.0);
+      sink = ignore;
+      evs = (if enabled then Array.make 1024 dummy_ev else [||]);
+      len = 0;
+      next_id = 1;
+    }
+  in
+  if enabled then t.sink <- append t;
+  t
+
+(* The shared off switch: recording functions bail on [on = false]
+   before touching the clock or the sink, so a disabled tracer costs one
+   boolean load and allocates nothing. *)
+let disabled = create ~enabled:false ()
+let enabled t = t.on
+let set_clock t f = t.clock <- f
+
+(* Wall stamps ride along for profiling but are never part of the
+   deterministic surface: exports drop them unless asked. *)
+let wall_clock () = Unix.gettimeofday ()
+
+let span_open t ?(parent = 0) ~cat ~name ?(attrs = no_attrs) () =
+  if not t.on then 0
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    t.sink
+      {
+        kind = Begin;
+        id;
+        parent;
+        cat;
+        name;
+        vt = t.clock ();
+        wall = wall_clock ();
+        attrs;
+      };
+    id
+  end
+
+let span_close t id ?(attrs = no_attrs) () =
+  if t.on && id <> 0 then
+    t.sink
+      {
+        kind = End;
+        id;
+        parent = 0;
+        cat = "";
+        name = "";
+        vt = t.clock ();
+        wall = wall_clock ();
+        attrs;
+      }
+
+let instant t ?(parent = 0) ~cat ~name ?(attrs = no_attrs) () =
+  if t.on then
+    t.sink
+      {
+        kind = Instant;
+        id = 0;
+        parent;
+        cat;
+        name;
+        vt = t.clock ();
+        wall = wall_clock ();
+        attrs;
+      }
+
+let length t = t.len
+let nth t i = t.evs.(i)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.evs.(i)
+  done
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun ev -> acc := f !acc ev);
+  !acc
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b

@@ -41,6 +41,28 @@ type reply =
 let message_overhead = 128
 let batch_item_overhead = 8
 
+(* Static strings so tracing taps never allocate a label. *)
+let request_kind = function
+  | Enable_events _ -> "enable_events"
+  | Disable_events _ -> "disable_events"
+  | Get_perflow _ -> "get_perflow"
+  | Put_perflow _ -> "put_perflow"
+  | Del_perflow _ -> "del_perflow"
+  | Get_multiflow _ -> "get_multiflow"
+  | Put_multiflow _ -> "put_multiflow"
+  | Del_multiflow _ -> "del_multiflow"
+  | Get_allflows _ -> "get_allflows"
+  | Put_allflows _ -> "put_allflows"
+  | Ping _ -> "ping"
+  | Set_batching _ -> "set_batching"
+
+let reply_kind = function
+  | Piece _ -> "piece"
+  | Done _ -> "done"
+  | Ack _ -> "ack"
+  | Event _ -> "event"
+  | Batch_reply _ -> "batch_reply"
+
 let chunks_size chunks =
   List.fold_left (fun acc (_, c) -> acc + Chunk.size c + 32) 0 chunks
 

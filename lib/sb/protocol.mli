@@ -72,3 +72,8 @@ val batch_item_overhead : int
 
 val request_size : request -> int
 val reply_size : reply -> int
+
+val request_kind : request -> string
+(** Constant-allocation message label for tracing taps. *)
+
+val reply_kind : reply -> string

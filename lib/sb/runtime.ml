@@ -45,6 +45,11 @@ type t = {
   mutable batch_budget : int option;
   mutable rbuf : (Protocol.reply * int) list;
   mutable rbuf_bytes : int;
+  trace : Opennf_obs.Trace.t;
+  m_replies : Opennf_obs.Metrics.counter;
+  m_reply_bytes : Opennf_obs.Metrics.counter;
+  m_flushes : Opennf_obs.Metrics.counter;
+  m_batch_items : Opennf_obs.Metrics.counter;
 }
 
 let name t = t.name
@@ -58,7 +63,19 @@ let alive t =
 
 let send_raw t reply ~size =
   match t.to_ctrl with
-  | Some chan when alive t -> Channel.send chan ~size reply
+  | Some chan when alive t ->
+    Opennf_obs.Metrics.incr t.m_replies;
+    Opennf_obs.Metrics.add t.m_reply_bytes size;
+    if Opennf_obs.Trace.enabled t.trace then
+      Opennf_obs.Trace.instant t.trace ~cat:"sb"
+        ~name:(Protocol.reply_kind reply)
+        ~attrs:
+          [|
+            ("nf", Opennf_obs.Trace.Str t.name);
+            ("bytes", Opennf_obs.Trace.Int size);
+          |]
+        ();
+    Channel.send chan ~size reply
   | Some _ | None -> ()
 
 let flush_replies t =
@@ -78,6 +95,8 @@ let flush_replies t =
     in
     t.rbuf <- [];
     t.rbuf_bytes <- 0;
+    Opennf_obs.Metrics.incr t.m_flushes;
+    Opennf_obs.Metrics.add t.m_batch_items (List.length items);
     send_raw t (Protocol.Batch_reply { items = List.map fst items }) ~size
 
 let send_reply t ?size reply =
@@ -354,6 +373,8 @@ let control t (req : Protocol.request) =
 let set_controller t chan = t.to_ctrl <- Some chan
 
 let create engine audit ~name ~impl ~costs ?faults () =
+  let obs = Engine.obs engine in
+  let metrics = Opennf_obs.Hub.metrics obs in
   let t =
     {
       engine;
@@ -377,6 +398,11 @@ let create engine audit ~name ~impl ~costs ?faults () =
       batch_budget = None;
       rbuf = [];
       rbuf_bytes = 0;
+      trace = Opennf_obs.Hub.trace obs;
+      m_replies = Opennf_obs.Metrics.counter metrics "sb.replies";
+      m_reply_bytes = Opennf_obs.Metrics.counter metrics "sb.reply_bytes";
+      m_flushes = Opennf_obs.Metrics.counter metrics "sb.batch.flushes";
+      m_batch_items = Opennf_obs.Metrics.counter metrics "sb.batch.items";
     }
   in
   Proc.spawn engine (worker_loop t);

@@ -66,18 +66,29 @@ type t = {
   mutable processed : int;
   mutable running : bool;
   rng : Opennf_util.Rng.t;
+  obs : Opennf_obs.Hub.t;
+  m_events : Opennf_obs.Metrics.counter;
 }
 
-let create ?(seed = 1) () =
-  {
-    heap = Heap.create ();
-    clock = 0.0;
-    next_seq = 0;
-    processed = 0;
-    running = false;
-    rng = Opennf_util.Rng.create ~seed;
-  }
+let create ?(seed = 1) ?(obs = Opennf_obs.Hub.disabled) () =
+  let t =
+    {
+      heap = Heap.create ();
+      clock = 0.0;
+      next_seq = 0;
+      processed = 0;
+      running = false;
+      rng = Opennf_util.Rng.create ~seed;
+      obs;
+      m_events = Opennf_obs.Metrics.counter (Opennf_obs.Hub.metrics obs) "engine.events";
+    }
+  in
+  (* Observation reads the clock; it never schedules or touches the RNG,
+     so instrumentation cannot perturb the simulation. *)
+  Opennf_obs.Trace.set_clock (Opennf_obs.Hub.trace obs) (fun () -> t.clock);
+  t
 
+let obs t = t.obs
 let now t = t.clock
 let rng t = t.rng
 
@@ -105,6 +116,7 @@ let run ?(until = infinity) t =
       let ev = Heap.pop t.heap in
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
+      Opennf_obs.Metrics.incr t.m_events;
       ev.thunk ()
   done;
   if until <> infinity && t.clock < until then t.clock <- until;

@@ -7,9 +7,15 @@
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?obs:Opennf_obs.Hub.t -> unit -> t
 (** [create ~seed ()] makes an engine whose clock is at 0.0 and whose
-    root RNG is seeded with [seed] (default 1). *)
+    root RNG is seeded with [seed] (default 1). [obs] (default
+    {!Opennf_obs.Hub.disabled}) is the observability hub; the engine
+    installs its virtual clock as the hub's trace timebase and counts
+    dispatched events under ["engine.events"]. *)
+
+val obs : t -> Opennf_obs.Hub.t
+(** The hub this engine was created with, for components to share. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)

@@ -22,4 +22,5 @@ let () =
       ("properties", Test_props.suite);
       ("sched", Test_sched.suite);
       ("faults", Test_faults.suite);
+      ("obs", Test_obs.suite);
     ]
