@@ -1,6 +1,7 @@
-(* Million-flow wall-clock scaling (ISSUE 4).
+(* Million-flow wall-clock scaling (ISSUE 4, rebased on the flat-memory
+   arenas and the timing-wheel scheduler of ISSUE 6).
 
-   Three questions, each in real seconds (not virtual time):
+   Four questions, each in real seconds (not virtual time):
 
    - ordered stores: what does a bulk scoped get (the getPerflow
      enumeration behind a move of every flow) cost at 10k / 100k / 1M
@@ -8,15 +9,19 @@
      sort-per-call reference ([Store.Perflow.matching_reference])?
    - allocation: how many minor-heap words does one getPerflow
      (enumerate + scratch-buffer chunk encode) burn?
-   - throughput: how many simulation events per wall second does a
-     traffic window sustain while the NF holds that much state — and
-     how much wall time does the domain pool recover when independent
-     seeded scenarios run on separate cores?
+   - throughput: how many simulation events per wall second does the
+     traffic window itself sustain while the NF holds that much
+     resident state — preload (building the flows) is timed separately,
+     and the GC's minor/major collection counts and major-heap words
+     over the window say *why* a heap hurts or doesn't.
+   - schedulers: the timing wheel and the reference binary heap must
+     produce identical virtual-time results on the same scenario.
 
    Sizes come from OPENNF_SCALE_SIZES (e.g. "10k 100k 1m"), defaulting
    to the full sweep; the @bench-check smoke run sets small sizes.
-   Emits BENCH_scale.json. Wall times use [Unix.gettimeofday]:
-   [Sys.time] is process CPU time, which double-counts the pool. *)
+   Emits BENCH_scale.json (+ METRICS_scale.json). Wall times use
+   [Unix.gettimeofday]: [Sys.time] is process CPU time, which
+   double-counts the pool. *)
 
 module H = Harness
 module Engine = Opennf_sim.Engine
@@ -124,12 +129,35 @@ let bench_get n =
 
 (* --- event throughput under load ----------------------------------------- *)
 
-type scenario_result = { sc_events : int; sc_virtual_end : float }
+(* Virtual-time results only: everything here must be bit-identical
+   across schedulers, domains and instrumentation, so the pool- and
+   scheduler-equivalence checks compare whole values. *)
+type scenario_result = {
+  sc_events : int;
+  sc_virtual_end : float;
+  sc_conns : int;
+  sc_assets : int;
+  sc_stats : int * int * int;
+}
+
+(* Wall-clock and GC costs of one scenario, phase-split: [c_preload]
+   covers building the fabric and the resident flows, [c_traffic] the
+   simulation run only — events/s over a big heap means events over
+   the traffic window, not amortized preload. GC deltas are measured
+   across the traffic window. *)
+type scenario_cost = {
+  c_preload : float;
+  c_traffic : float;
+  c_minor_cols : int;
+  c_major_cols : int;
+  c_major_words : float;
+}
 
 (* A traffic window against a PRADS instance preloaded with [preload]
    connections: [flows] fresh flows at [rate] pps for [duration]
    virtual seconds. Fully seeded; runs on whichever domain calls it. *)
-let scenario ~seed ~preload ~flows ~rate ~duration () =
+let scenario_full ~seed ~preload ~flows ~rate ~duration () =
+  let t0 = Unix.gettimeofday () in
   let fab = Fabric.create ~seed () in
   let prads1 = Opennf_nfs.Prads.create () in
   let nf1, _rt1 =
@@ -147,23 +175,55 @@ let scenario ~seed ~preload ~flows ~rate ~duration () =
   List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
   Opennf_sim.Proc.spawn fab.engine (fun () ->
       Controller.set_route fab.ctrl Filter.any nf1);
+  let t1 = Unix.gettimeofday () in
+  let s0 = Gc.quick_stat () in
   Fabric.run fab;
-  { sc_events = Engine.processed fab.engine; sc_virtual_end = Engine.now fab.engine }
+  let s1 = Gc.quick_stat () in
+  let t2 = Unix.gettimeofday () in
+  ( {
+      sc_events = Engine.processed fab.engine;
+      sc_virtual_end = Engine.now fab.engine;
+      sc_conns = Opennf_nfs.Prads.connection_count prads1;
+      sc_assets = Opennf_nfs.Prads.asset_count prads1;
+      sc_stats = Opennf_nfs.Prads.stats prads1;
+    },
+    {
+      c_preload = t1 -. t0;
+      c_traffic = t2 -. t1;
+      c_minor_cols = s1.Gc.minor_collections - s0.Gc.minor_collections;
+      c_major_cols = s1.Gc.major_collections - s0.Gc.major_collections;
+      c_major_words = s1.Gc.major_words -. s0.Gc.major_words;
+    } )
 
-type tput_row = { t_wall : float; t_events : int }
+let scenario ~seed ~preload ~flows ~rate ~duration () =
+  fst (scenario_full ~seed ~preload ~flows ~rate ~duration ())
 
 let bench_throughput n =
-  let t_wall, r =
-    wall (scenario ~seed:(31 + n) ~preload:n ~flows:500 ~rate:20_000.0
-            ~duration:1.0)
+  scenario_full ~seed:(31 + n) ~preload:n ~flows:500 ~rate:20_000.0
+    ~duration:1.0 ()
+
+(* --- scheduler equivalence ----------------------------------------------- *)
+
+(* The same scenario under the reference binary heap and the timing
+   wheel: every virtual-time field (events dispatched, final clock,
+   NF state digest) must match exactly, or the wheel broke the
+   (time, seq) dispatch order. *)
+let bench_schedulers () =
+  let run kind =
+    Unix.putenv "OPENNF_SCHEDULER" kind;
+    scenario ~seed:77 ~preload:2_000 ~flows:200 ~rate:5_000.0 ~duration:0.5 ()
   in
-  { t_wall; t_events = r.sc_events }
+  let heap = run "heap" in
+  let wheel = run "wheel" in
+  Unix.putenv "OPENNF_SCHEDULER" "";
+  (heap, wheel)
 
 (* --- domain pool --------------------------------------------------------- *)
 
 type pool_row = {
   p_tasks : int;
   p_domains : int;
+  p_dispatch : bool; (* false: one domain, tasks ran inline *)
   p_serial : float;
   p_pool : float;
   p_deterministic : bool;
@@ -171,19 +231,27 @@ type pool_row = {
 
 (* Independent seeded scenarios, serial then pooled. The pooled run must
    reproduce the serial results bit-for-bit: each scenario is
-   single-domain deterministic, and the pool only changes placement. *)
+   single-domain deterministic, and the pool only changes placement.
+   Each timed run starts from a compacted heap — otherwise the second
+   run inherits the first one's garbage and the comparison measures GC
+   debt, not dispatch. *)
 let bench_pool ~preload =
   let tasks =
     Array.init 8 (fun i ->
         scenario ~seed:(1000 + (137 * i)) ~preload ~flows:400 ~rate:10_000.0
           ~duration:1.0)
   in
+  let domains =
+    Opennf_util.Domain_pool.pool_size ~tasks:(Array.length tasks) ()
+  in
+  Gc.compact ();
   let p_serial, serial = wall (fun () -> Array.map (fun f -> f ()) tasks) in
+  Gc.compact ();
   let p_pool, pooled = wall (fun () -> Opennf_util.Domain_pool.run tasks) in
   {
     p_tasks = Array.length tasks;
-    p_domains =
-      Stdlib.min (Array.length tasks) (Opennf_util.Domain_pool.default_domains ());
+    p_domains = domains;
+    p_dispatch = domains > 1;
     p_serial;
     p_pool;
     p_deterministic = serial = pooled;
@@ -191,66 +259,117 @@ let bench_pool ~preload =
 
 (* --- driver -------------------------------------------------------------- *)
 
-let json_row n g t =
+let json_row n g r c =
   Printf.sprintf
-    {|    {"flows": %d, "scoped_get_wall_ms": %.3f, "scoped_get_reference_wall_ms": %.3f, "scoped_get_speedup": %.2f, "get_perflow_minor_words": %.1f, "chunk_export_minor_words": %.1f, "scenario_wall_ms": %.1f, "scenario_events": %d, "events_per_sec": %.0f}|}
+    {|    {"flows": %d, "scoped_get_wall_ms": %.3f, "scoped_get_reference_wall_ms": %.3f, "scoped_get_speedup": %.2f, "get_perflow_minor_words": %.1f, "chunk_export_minor_words": %.1f, "preload_wall_ms": %.1f, "traffic_wall_ms": %.1f, "scenario_events": %d, "events_per_sec": %.0f, "gc_minor_collections": %d, "gc_major_collections": %d, "gc_major_words_per_event": %.1f}|}
     n (1000.0 *. g.g_walk) (1000.0 *. g.g_ref) (g.g_ref /. g.g_walk)
-    g.g_words g.g_export_words (1000.0 *. t.t_wall) t.t_events
-    (float_of_int t.t_events /. t.t_wall)
+    g.g_words g.g_export_words (1000.0 *. c.c_preload) (1000.0 *. c.c_traffic)
+    r.sc_events
+    (float_of_int r.sc_events /. c.c_traffic)
+    c.c_minor_cols c.c_major_cols
+    (c.c_major_words /. float_of_int r.sc_events)
 
 let run () =
   H.section "Wall-clock scaling (ordered stores, allocation, multicore)";
   let sizes = sizes () in
+  let metrics_hub = Opennf_obs.Hub.create ~metrics:true () in
+  let metrics = Opennf_obs.Hub.metrics metrics_hub in
   let rows =
     List.map
       (fun n ->
         let g = bench_get n in
         Gc.compact ();
-        let t = bench_throughput n in
+        let r, c = bench_throughput n in
         Gc.compact ();
-        (n, g, t))
+        (n, g, r, c))
       sizes
   in
   H.table
     ~header:
       [
-        "flows"; "bulk get ms"; "bulk get ms (ref)"; "speedup";
-        "getPf minor words"; "export minor words"; "events/s";
+        "flows"; "bulk get ms"; "getPf words"; "events/s"; "minor GCs";
+        "major GCs"; "major w/event";
       ]
     (List.map
-       (fun (n, g, t) ->
+       (fun (n, g, r, c) ->
          [
            string_of_int n;
            Printf.sprintf "%.2f" (1000.0 *. g.g_walk);
-           Printf.sprintf "%.2f" (1000.0 *. g.g_ref);
-           Printf.sprintf "%.1fx" (g.g_ref /. g.g_walk);
            Printf.sprintf "%.0f" g.g_words;
-           Printf.sprintf "%.0f" g.g_export_words;
-           Printf.sprintf "%.0f" (float_of_int t.t_events /. t.t_wall);
+           Printf.sprintf "%.0f" (float_of_int r.sc_events /. c.c_traffic);
+           string_of_int c.c_minor_cols;
+           string_of_int c.c_major_cols;
+           Printf.sprintf "%.1f" (c.c_major_words /. float_of_int r.sc_events);
          ])
        rows);
+  List.iter
+    (fun (n, g, r, c) ->
+      let set name v =
+        Opennf_obs.Metrics.set
+          (Opennf_obs.Metrics.gauge metrics (Printf.sprintf "scale.%d.%s" n name))
+          v
+      in
+      set "events_per_sec" (float_of_int r.sc_events /. c.c_traffic);
+      set "traffic_wall_ms" (1000.0 *. c.c_traffic);
+      set "get_perflow_minor_words" g.g_words;
+      set "gc_minor_collections" (float_of_int c.c_minor_cols);
+      set "gc_major_collections" (float_of_int c.c_major_cols);
+      set "gc_major_words_per_event"
+        (c.c_major_words /. float_of_int r.sc_events))
+    rows;
+  let heap, wheel = bench_schedulers () in
+  let sched_ok = heap = wheel in
+  H.note "schedulers: heap %d events / wheel %d events, virtual results %s"
+    heap.sc_events wheel.sc_events
+    (if sched_ok then "identical" else "DIVERGED");
   let pool = bench_pool ~preload:(List.fold_left Stdlib.min max_int sizes) in
-  H.note
-    "pool: %d scenarios on %d domains: serial %.0f ms, pooled %.0f ms (%.2fx), results %s"
-    pool.p_tasks pool.p_domains (1000.0 *. pool.p_serial)
-    (1000.0 *. pool.p_pool)
-    (pool.p_serial /. pool.p_pool)
-    (if pool.p_deterministic then "identical" else "DIVERGED");
+  if pool.p_dispatch then
+    H.note
+      "pool: %d scenarios on %d domains: serial %.0f ms, pooled %.0f ms (%.2fx), results %s"
+      pool.p_tasks pool.p_domains (1000.0 *. pool.p_serial)
+      (1000.0 *. pool.p_pool)
+      (pool.p_serial /. pool.p_pool)
+      (if pool.p_deterministic then "identical" else "DIVERGED")
+  else
+    H.note
+      "pool: 1 usable domain — %d scenarios ran inline (no dispatch); serial %.0f ms, pooled %.0f ms, results %s"
+      pool.p_tasks (1000.0 *. pool.p_serial)
+      (1000.0 *. pool.p_pool)
+      (if pool.p_deterministic then "identical" else "DIVERGED");
   let oc = open_out "BENCH_scale.json" in
   output_string oc "{\n  \"bench\": \"scale\",\n  \"rows\": [\n";
   output_string oc
-    (String.concat ",\n" (List.map (fun (n, g, t) -> json_row n g t) rows));
+    (String.concat ",\n" (List.map (fun (n, g, r, c) -> json_row n g r c) rows));
   output_string oc "\n  ],\n";
   Printf.fprintf oc
-    "  \"pool\": {\"scenarios\": %d, \"domains\": %d, \"serial_wall_ms\": %.1f, \"pool_wall_ms\": %.1f, \"speedup\": %.2f, \"deterministic\": %b}\n"
-    pool.p_tasks pool.p_domains (1000.0 *. pool.p_serial)
+    "  \"schedulers\": {\"heap_events\": %d, \"wheel_events\": %d, \"virtual_end\": %.6f, \"identical\": %b},\n"
+    heap.sc_events wheel.sc_events wheel.sc_virtual_end sched_ok;
+  Printf.fprintf oc
+    "  \"pool\": {\"scenarios\": %d, \"domains\": %d, \"dispatch\": %b, \"serial_wall_ms\": %.1f, \"pool_wall_ms\": %.1f, \"speedup\": %.2f, \"deterministic\": %b}\n"
+    pool.p_tasks pool.p_domains pool.p_dispatch (1000.0 *. pool.p_serial)
     (1000.0 *. pool.p_pool)
     (pool.p_serial /. pool.p_pool)
     pool.p_deterministic;
   output_string oc "}\n";
   close_out oc;
-  H.note "wrote BENCH_scale.json"
+  H.note "wrote BENCH_scale.json";
+  H.write_metrics ~bench:"scale" metrics_hub
+
+(* Standalone smoke for @bench-check: the same scenario under both
+   schedulers, failing the build on any virtual-time divergence. *)
+let run_schedcheck () =
+  H.section "Scheduler equivalence (binary heap vs timing wheel)";
+  let heap, wheel = bench_schedulers () in
+  H.note
+    "heap: %d events, clock %.6f | wheel: %d events, clock %.6f | digest %s"
+    heap.sc_events heap.sc_virtual_end wheel.sc_events wheel.sc_virtual_end
+    (if heap = wheel then "identical" else "DIVERGED");
+  if heap <> wheel then
+    failwith "scheduler check: wheel diverged from the reference heap"
 
 let () =
   H.register ~id:"scale"
-    ~descr:"wall-clock scaling: ordered getPerflow, allocation, domain pool" run
+    ~descr:"wall-clock scaling: ordered getPerflow, allocation, domain pool" run;
+  H.register ~id:"schedcheck"
+    ~descr:"timing wheel vs binary heap: virtual-time equivalence smoke"
+    run_schedcheck

@@ -12,12 +12,15 @@ type entry = { rule : rule; installed_seq : int }
 
 (* Entries are indexed two ways (plus a cookie map for management):
 
-   - [exact]: rules whose every filter pins a full 5-tuple live in a
-     hash keyed on that 5-tuple. A packet probes with its own key, so a
-     lookup inspects only the handful of rules installed for exactly
-     that flow, however many flows the table holds. Filters may still
-     carry a TCP-flag constraint — the probe yields candidates that are
-     re-checked with the full match.
+   - [exact]: rules whose every filter pins a full 5-tuple live in flat
+     memory — one {!Opennf_util.Arena} row per (rule, key), chained per
+     directed 5-tuple through an open-addressing int table. A packet
+     probes with its own key, so a lookup inspects only the handful of
+     rows installed for exactly that flow, however many flows the table
+     holds — and at a million installed flows the rows cost the GC
+     nothing, unlike the former per-key entry lists. Filters may still
+     carry a TCP-flag constraint — rows marked with it are re-checked
+     against the full rule via the cookie map.
    - [wild]: everything else, bucketed by priority. Buckets are kept in
      a list sorted by descending priority; within a bucket, entries are
      newest (highest [installed_seq]) first, so the first match found is
@@ -50,11 +53,29 @@ type slot = {
 }
 
 module Omap = Opennf_util.Omap
+module Arena = Opennf_util.Arena
+
+(* Exact-index row layout: directed 5-tuple at the head, then the three
+   ints [decide] compares (priority, install seq, cookie) and the chain
+   link — everything a lookup needs without touching a rule record
+   until the winner is known. *)
+let eo_flag = 13 (* u8: rule carries a TCP-flag filter; re-check it *)
+let eo_prio = 16 (* int *)
+let eo_seq = 24 (* int *)
+let eo_cookie = 32 (* int *)
+let eo_next = 40 (* handle of the next row for the same key; null ends *)
+let e_stride = 48
 
 type t = {
   by_cookie : (int, entry) Hashtbl.t;
   by_seq : (int, entry) Omap.t;  (* Ordered by install sequence. *)
-  exact : entry list Flow.Table.t;
+  exact : Arena.t;
+  (* eidx: directed-key probe table; slots hold the chain-head handle
+     (0 = empty, -1 = tombstone). *)
+  mutable eidx : int array;
+  mutable emask : int;
+  mutable ecount : int; (* distinct exact keys (chains) *)
+  mutable etombs : int;
   mutable wild : bucket list;  (* Sorted by descending priority. *)
   mutable flag_rules : int;
   mutable generation : int;
@@ -88,7 +109,11 @@ let create ?(obs = Opennf_obs.Hub.disabled) () =
   {
     by_cookie = Hashtbl.create 64;
     by_seq = Omap.create ~cmp:Int.compare;
-    exact = Flow.Table.create 64;
+    exact = Arena.create ~stride:e_stride ();
+    eidx = Array.make 256 0;
+    emask = 255;
+    ecount = 0;
+    etombs = 0;
     wild = [];
     flag_rules = 0;
     generation = 0;
@@ -101,6 +126,158 @@ let create ?(obs = Opennf_obs.Hub.disabled) () =
     m_misses = Opennf_obs.Metrics.counter metrics "ft.cache_misses";
   }
 
+let has_flag_filter rule =
+  List.exists (fun f -> Option.is_some f.Filter.tcp_flag) rule.filters
+
+(* --- exact index ---------------------------------------------------------
+   Open addressing over int slots, same discipline as the arena-backed
+   per-flow stores: probes compare the packet's key fields against the
+   chain head's row bytes, so the hot path allocates nothing. *)
+
+let[@inline] emix h v = (h lxor v) * 0x2545F4914F6CDD1D
+
+let[@inline] ehash src dst pr sp dp =
+  let h = emix (emix (emix (emix (emix 0x9E3779B9 src) dst) pr) sp) dp in
+  (h lxor (h lsr 29)) land max_int
+
+let proto_rank = function Flow.Tcp -> 0 | Flow.Udp -> 1 | Flow.Icmp -> 2
+
+let[@inline] erow_matches t h src dst pr sp dp =
+  Arena.get_u32 t.exact h 0 = src
+  && Arena.get_u32 t.exact h 4 = dst
+  && Arena.get_u8 t.exact h 8 = pr
+  && Arena.get_u16 t.exact h 9 = sp
+  && Arena.get_u16 t.exact h 11 = dp
+
+(* Slot holding the chain for the directed key, or -1. *)
+let eprobe_find t src dst pr sp dp =
+  let i = ref (ehash src dst pr sp dp land t.emask) in
+  let slot = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let v = t.eidx.(!i) in
+    if v = 0 then continue := false
+    else if v <> -1 && erow_matches t v src dst pr sp dp then begin
+      slot := !i;
+      continue := false
+    end
+    else i := (!i + 1) land t.emask
+  done;
+  !slot
+
+let erehash t slots =
+  let idx = Array.make slots 0 in
+  let mask = slots - 1 in
+  Array.iter
+    (fun v ->
+      if v <> 0 && v <> -1 then begin
+        let h =
+          ehash (Arena.get_u32 t.exact v 0) (Arena.get_u32 t.exact v 4)
+            (Arena.get_u8 t.exact v 8)
+            (Arena.get_u16 t.exact v 9)
+            (Arena.get_u16 t.exact v 11)
+        in
+        let i = ref (h land mask) in
+        while idx.(!i) <> 0 do
+          i := (!i + 1) land mask
+        done;
+        idx.(!i) <- v
+      end)
+    t.eidx;
+  t.eidx <- idx;
+  t.emask <- mask;
+  t.etombs <- 0
+
+(* Prepend a row for [e] onto [k]'s chain (newest-first, like the entry
+   lists this replaces), creating the chain if the key is new. *)
+let eindex_add t e (k : Flow.key) =
+  let src = Ipaddr.to_int k.Flow.src_ip
+  and dst = Ipaddr.to_int k.Flow.dst_ip
+  and pr = proto_rank k.Flow.proto
+  and sp = k.Flow.src_port
+  and dp = k.Flow.dst_port in
+  let i = ref (ehash src dst pr sp dp land t.emask) in
+  let free = ref (-1) in
+  let found = ref (-1) in
+  let continue = ref true in
+  while !continue do
+    let v = t.eidx.(!i) in
+    if v = 0 then begin
+      if !free = -1 then free := !i;
+      continue := false
+    end
+    else if v = -1 then begin
+      if !free = -1 then free := !i;
+      i := (!i + 1) land t.emask
+    end
+    else if erow_matches t v src dst pr sp dp then begin
+      found := !i;
+      continue := false
+    end
+    else i := (!i + 1) land t.emask
+  done;
+  let h = Arena.alloc t.exact in
+  Arena.set_u32 t.exact h 0 src;
+  Arena.set_u32 t.exact h 4 dst;
+  Arena.set_u8 t.exact h 8 pr;
+  Arena.set_u16 t.exact h 9 sp;
+  Arena.set_u16 t.exact h 11 dp;
+  Arena.set_u8 t.exact h eo_flag (if has_flag_filter e.rule then 1 else 0);
+  Arena.set_int t.exact h eo_prio e.rule.priority;
+  Arena.set_int t.exact h eo_seq e.installed_seq;
+  Arena.set_int t.exact h eo_cookie e.rule.cookie;
+  if !found <> -1 then begin
+    Arena.set_int t.exact h eo_next t.eidx.(!found);
+    t.eidx.(!found) <- h
+  end
+  else begin
+    Arena.set_int t.exact h eo_next Arena.null;
+    if t.eidx.(!free) = -1 then t.etombs <- t.etombs - 1;
+    t.eidx.(!free) <- h;
+    t.ecount <- t.ecount + 1;
+    if 2 * (t.ecount + t.etombs) > t.emask + 1 then begin
+      let slots = ref (t.emask + 1) in
+      while 2 * (t.ecount + 1) > !slots do
+        slots := !slots * 2
+      done;
+      erehash t !slots
+    end
+  end
+
+(* Drop [e]'s row from [k]'s chain, tombstoning the slot if the chain
+   empties. Cookie identifies the row: install replaces (unlinks) any
+   previous entry with the same cookie before linking the new one. *)
+let eindex_remove t e (k : Flow.key) =
+  let s =
+    eprobe_find t
+      (Ipaddr.to_int k.Flow.src_ip)
+      (Ipaddr.to_int k.Flow.dst_ip)
+      (proto_rank k.Flow.proto) k.Flow.src_port k.Flow.dst_port
+  in
+  if s <> -1 then begin
+    let cookie = e.rule.cookie in
+    let rec filter h =
+      if h = Arena.null then Arena.null
+      else begin
+        let next = Arena.get_int t.exact h eo_next in
+        if Arena.get_int t.exact h eo_cookie = cookie then begin
+          Arena.free t.exact h;
+          filter next
+        end
+        else begin
+          Arena.set_int t.exact h eo_next (filter next);
+          h
+        end
+      end
+    in
+    match filter t.eidx.(s) with
+    | 0 ->
+      t.eidx.(s) <- -1;
+      t.ecount <- t.ecount - 1;
+      t.etombs <- t.etombs + 1
+    | head -> t.eidx.(s) <- head
+  end
+
 let exact_keys rule =
   let keys = List.map Filter.exact_key rule.filters in
   if List.for_all Option.is_some keys then
@@ -109,24 +286,12 @@ let exact_keys rule =
     Some (Omap.sort_uniq ~cmp:Flow.compare (List.filter_map Fun.id keys))
   else None
 
-let has_flag_filter rule =
-  List.exists (fun f -> Option.is_some f.Filter.tcp_flag) rule.filters
-
 let unlink t e =
   Hashtbl.remove t.by_cookie e.rule.cookie;
   Omap.remove t.by_seq e.installed_seq;
   if has_flag_filter e.rule then t.flag_rules <- t.flag_rules - 1;
   match exact_keys e.rule with
-  | Some keys ->
-    List.iter
-      (fun k ->
-        match Flow.Table.find_opt t.exact k with
-        | None -> ()
-        | Some es -> (
-          match List.filter (fun e' -> e' != e) es with
-          | [] -> Flow.Table.remove t.exact k
-          | es' -> Flow.Table.replace t.exact k es'))
-      keys
+  | Some keys -> List.iter (eindex_remove t e) keys
   | None ->
     List.iter
       (fun b -> b.entries <- List.filter (fun e' -> e' != e) b.entries)
@@ -138,14 +303,7 @@ let link t e =
   Omap.set t.by_seq e.installed_seq e;
   if has_flag_filter e.rule then t.flag_rules <- t.flag_rules + 1;
   match exact_keys e.rule with
-  | Some keys ->
-    List.iter
-      (fun k ->
-        let es =
-          match Flow.Table.find_opt t.exact k with Some es -> es | None -> []
-        in
-        Flow.Table.replace t.exact k (e :: es))
-      keys
+  | Some keys -> List.iter (eindex_add t e) keys
   | None -> (
     (* New entries always carry the largest seq, so prepending keeps the
        bucket newest-first. *)
@@ -194,18 +352,47 @@ let beats a b =
   a.rule.priority > b.rule.priority
   || (a.rule.priority = b.rule.priority && a.installed_seq > b.installed_seq)
 
+(* Walk the packet key's chain comparing raw (priority, seq) ints; only
+   the winning row's entry is fetched (via the cookie map), and only
+   flag-marked rows pay a full [rule_matches] re-check. Unmarked rows
+   match by construction: their filters pin exactly this 5-tuple and
+   packet matching ignores the app field. *)
 let exact_best t p =
-  match Flow.Table.find_opt t.exact p.Packet.key with
-  | None -> None
-  | Some es ->
-    List.fold_left
-      (fun best e ->
-        if rule_matches e.rule p then
-          match best with
-          | Some b when beats b e -> best
-          | Some _ | None -> Some e
-        else best)
-      None es
+  let k = p.Packet.key in
+  let s =
+    eprobe_find t
+      (Ipaddr.to_int k.Flow.src_ip)
+      (Ipaddr.to_int k.Flow.dst_ip)
+      (proto_rank k.Flow.proto) k.Flow.src_port k.Flow.dst_port
+  in
+  if s = -1 then None
+  else begin
+    let a = t.exact in
+    let best = ref Arena.null in
+    let bp = ref min_int and bs = ref min_int in
+    let h = ref t.eidx.(s) in
+    while !h <> Arena.null do
+      let prio = Arena.get_int a !h eo_prio in
+      let seq = Arena.get_int a !h eo_seq in
+      if prio > !bp || (prio = !bp && seq > !bs) then begin
+        let ok =
+          Arena.get_u8 a !h eo_flag = 0
+          ||
+          match Hashtbl.find_opt t.by_cookie (Arena.get_int a !h eo_cookie) with
+          | Some e -> rule_matches e.rule p
+          | None -> false
+        in
+        if ok then begin
+          best := !h;
+          bp := prio;
+          bs := seq
+        end
+      end;
+      h := Arena.get_int a !h eo_next
+    done;
+    if !best = Arena.null then None
+    else Hashtbl.find_opt t.by_cookie (Arena.get_int a !best eo_cookie)
+  end
 
 let wild_best t p ~stop_at =
   let rec bucket_scan = function

@@ -12,14 +12,25 @@ type tcp_state = New | Established | Fin_wait | Closed
 
 type t
 
-val create : ?nat_ip:Ipaddr.t -> ?port_base:int -> unit -> t
+val create :
+  ?nat_ip:Ipaddr.t -> ?port_base:int -> ?port_limit:int -> unit -> t
+(** Translation ports are drawn from [\[port_base, port_limit\]]
+    (defaults 20000–65535) and recycled: allocation wraps within the
+    range and reclaims ports whose flows have reached [Closed]. When
+    every port backs a live unclosed flow, new flows are dropped (and
+    counted) rather than handed an out-of-range port. *)
+
 val impl : t -> Opennf_sb.Nf_api.impl
 
 (** {1 Inspection} *)
 
 val entry_count : t -> int
 val invalid_count : t -> int
-(** Packets rejected for lacking a conntrack entry. *)
+(** Packets rejected for lacking a conntrack entry (including SYNs
+    dropped on port exhaustion). *)
+
+val exhausted_count : t -> int
+(** SYNs dropped because the translation port range was exhausted. *)
 
 val state_of : t -> Flow.key -> tcp_state option
 val translation_of : t -> Flow.key -> int option

@@ -1,14 +1,17 @@
 module Bytes_io = Opennf_util.Bytes_io
+module Arena = Opennf_util.Arena
+module Pfa = Opennf_state.Store.Perflow_arena
 open Opennf_net
 open Opennf_state
 
-type conn = {
-  key : Flow.key;
-  mutable first_seen : float;
-  mutable last_seen : float;
-  mutable pkts : int;
-  mutable bytes : int;
-}
+(* Connection records are arena rows (the hot, million-entry state);
+   asset records and the globals stay boxed — there is one asset per
+   host, not per flow, and their service maps are genuinely structured. *)
+let off_first = Pfa.payload_off (* f64 *)
+let off_last = Pfa.payload_off + 8 (* f64 *)
+let off_pkts = Pfa.payload_off + 16 (* int *)
+let off_bytes = Pfa.payload_off + 24 (* int *)
+let payload_bytes = 32
 
 module Service_map = Map.Make (Int)
 
@@ -23,7 +26,7 @@ type asset = {
 type globals = { mutable g_pkts : int; mutable g_bytes : int; mutable g_flows : int }
 
 type t = {
-  conns : conn Store.Perflow.t;
+  conns : Pfa.t;
   assets : asset Store.Per_host.t;
   globals : globals;
   mutable now : float;  (* Advanced by packet timestamps. *)
@@ -31,7 +34,7 @@ type t = {
 
 let create () =
   {
-    conns = Store.Perflow.create ();
+    conns = Pfa.create ~payload:payload_bytes ();
     assets = Store.Per_host.create ();
     globals = { g_pkts = 0; g_bytes = 0; g_flows = 0 };
     now = 0.0;
@@ -76,21 +79,21 @@ let process_packet t (p : Packet.t) =
   t.now <- Float.max t.now p.sent_at;
   t.globals.g_pkts <- t.globals.g_pkts + 1;
   t.globals.g_bytes <- t.globals.g_bytes + p.wire_size;
-  (match Store.Perflow.find t.conns p.key with
-  | Some c ->
-    c.last_seen <- t.now;
-    c.pkts <- c.pkts + 1;
-    c.bytes <- c.bytes + p.wire_size
-  | None ->
+  let a = Pfa.arena t.conns in
+  let h = Pfa.find t.conns p.key in
+  if h <> Arena.null then begin
+    Arena.set_f64 a h off_last t.now;
+    Arena.set_int a h off_pkts (Arena.get_int a h off_pkts + 1);
+    Arena.set_int a h off_bytes (Arena.get_int a h off_bytes + p.wire_size)
+  end
+  else begin
     t.globals.g_flows <- t.globals.g_flows + 1;
-    Store.Perflow.set t.conns p.key
-      {
-        key = Flow.canonical p.key;
-        first_seen = t.now;
-        last_seen = t.now;
-        pkts = 1;
-        bytes = p.wire_size;
-      });
+    let h = Pfa.insert t.conns p.key in
+    Arena.set_f64 a h off_first t.now;
+    Arena.set_f64 a h off_last t.now;
+    Arena.set_int a h off_pkts 1;
+    Arena.set_int a h off_bytes p.wire_size
+  end;
   let src_asset = touch_asset t p.key.Flow.src_ip in
   ignore (touch_asset t p.key.Flow.dst_ip);
   (* A reply from a server port reveals a service on the source host. *)
@@ -104,30 +107,37 @@ let process_packet t (p : Packet.t) =
 
 (* The textual fingerprint hints PRADS records per connection; they make
    real PRADS state a couple hundred bytes per flow and are what makes
-   compression worthwhile (§8.3). *)
-let conn_fingerprint (c : conn) =
+   compression worthwhile (§8.3). Derived from key fields only, so it is
+   computed from the row at export time rather than stored. *)
+let fingerprint_of ~proto_rank ~src ~dport =
   Printf.sprintf
     "match:tcp-syn[%s];os:%s;uptime:unknown;link:ethernet;distance:%d;service:%s"
-    (Flow.proto_to_string c.key.Flow.proto)
-    (os_of_host c.key.Flow.src_ip)
-    (Ipaddr.to_int c.key.Flow.src_ip mod 30)
-    (service_of_port c.key.Flow.dst_port)
+    (match proto_rank with 0 -> "tcp" | 1 -> "udp" | _ -> "icmp")
+    (os_of_host (Ipaddr.of_int src))
+    (src mod 30)
+    (service_of_port dport)
 
-let conn_chunk (c : conn) =
+let conn_chunk t h =
+  let a = Pfa.arena t.conns in
   Chunk.encode ~kind:"prads.conn" (fun w ->
       let open Bytes_io.Writer in
-      int w (Ipaddr.to_int c.key.Flow.src_ip);
-      int w (Ipaddr.to_int c.key.Flow.dst_ip);
-      u8 w (match c.key.Flow.proto with Flow.Tcp -> 0 | Udp -> 1 | Icmp -> 2);
-      u16 w c.key.Flow.src_port;
-      u16 w c.key.Flow.dst_port;
-      f64 w c.first_seen;
-      f64 w c.last_seen;
-      int w c.pkts;
-      int w c.bytes;
-      string w (conn_fingerprint c))
+      let src = Arena.get_u32 a h 0 in
+      let proto_rank = Arena.get_u8 a h 8 in
+      let dport = Arena.get_u16 a h 11 in
+      int w src;
+      int w (Arena.get_u32 a h 4);
+      u8 w proto_rank;
+      u16 w (Arena.get_u16 a h 9);
+      u16 w dport;
+      f64 w (Arena.get_f64 a h off_first);
+      f64 w (Arena.get_f64 a h off_last);
+      int w (Arena.get_int a h off_pkts);
+      int w (Arena.get_int a h off_bytes);
+      string w (fingerprint_of ~proto_rank ~src ~dport))
 
-let conn_of_chunk chunk =
+(* Import replaces the row wholesale (same semantics as the boxed
+   [Store.Perflow.set] this used to be). *)
+let import_conn t chunk =
   let r = Chunk.reader chunk in
   let open Bytes_io.Reader in
   let src = Ipaddr.of_int (int r) in
@@ -146,7 +156,12 @@ let conn_of_chunk chunk =
   let pkts = int r in
   let bytes = int r in
   let _fingerprint = string r in
-  { key; first_seen; last_seen; pkts; bytes }
+  let a = Pfa.arena t.conns in
+  let h = Pfa.insert t.conns key in
+  Arena.set_f64 a h off_first first_seen;
+  Arena.set_f64 a h off_last last_seen;
+  Arena.set_int a h off_pkts pkts;
+  Arena.set_int a h off_bytes bytes
 
 let asset_chunk (a : asset) =
   Chunk.encode ~kind:"prads.asset" (fun w ->
@@ -187,22 +202,20 @@ let impl t =
     process_packet = process_packet t;
     list_perflow =
       (fun filter ->
-        List.map (fun (k, _) -> Filter.of_key k)
-          (Store.Perflow.matching t.conns filter));
+        List.map (fun (k, _) -> Filter.of_key k) (Pfa.matching t.conns filter));
     export_perflow =
       (fun flowid ->
         match Filter.exact_key flowid with
         | None -> None
-        | Some key -> Option.map conn_chunk (Store.Perflow.find t.conns key));
-    import_perflow =
-      (fun _flowid chunk ->
-        let c = conn_of_chunk chunk in
-        Store.Perflow.set t.conns c.key c);
+        | Some key ->
+          let h = Pfa.find t.conns key in
+          if h = Arena.null then None else Some (conn_chunk t h));
+    import_perflow = (fun _flowid chunk -> import_conn t chunk);
     delete_perflow =
       (fun flowid ->
         match Filter.exact_key flowid with
         | None -> ()
-        | Some key -> Store.Perflow.remove t.conns key);
+        | Some key -> ignore (Pfa.remove t.conns key));
     list_multiflow =
       (fun filter ->
         List.map (fun (ip, _) -> Filter.of_src_host ip)
@@ -254,7 +267,7 @@ let impl t =
 
 (* --- inspection ---------------------------------------------------------- *)
 
-let connection_count t = Store.Perflow.size t.conns
+let connection_count t = Pfa.size t.conns
 let asset_count t = Store.Per_host.size t.assets
 
 let services_of t ip =

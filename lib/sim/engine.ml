@@ -1,17 +1,30 @@
-type event = { time : float; seq : int; thunk : unit -> unit }
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable vb : int; (* virtual bucket: floor (time / width) at last index *)
+  mutable next : event; (* intrusive sorted chain; [nil]-terminated *)
+}
 
-(* Array-based binary min-heap ordered by (time, seq). *)
+(* Sentinel terminating every chain (compared with [==]). *)
+let rec nil = { time = 0.0; seq = 0; thunk = ignore; vb = 0; next = nil }
+
+(* Dispatch order, shared by both queue implementations: strictly by
+   (time, seq) — virtual time first, FIFO of scheduling on ties. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Array-based binary min-heap ordered by (time, seq). Retained as the
+   reference scheduler: O(log n) per operation, trivially correct. The
+   timing wheel below must dispatch in exactly this order (QCheck
+   equivalence in test_arena, scenario-level diff in bench_scale). *)
 module Heap = struct
   type t = { mutable arr : event array; mutable size : int }
 
-  let dummy = { time = 0.0; seq = 0; thunk = ignore }
-  let create () = { arr = Array.make 64 dummy; size = 0 }
-
-  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  let create () = { arr = Array.make 64 nil; size = 0 }
 
   let push t ev =
     if t.size = Array.length t.arr then begin
-      let bigger = Array.make (2 * t.size) dummy in
+      let bigger = Array.make (2 * t.size) nil in
       Array.blit t.arr 0 bigger 0 t.size;
       t.arr <- bigger
     end;
@@ -39,7 +52,7 @@ module Heap = struct
     let top = t.arr.(0) in
     t.size <- t.size - 1;
     t.arr.(0) <- t.arr.(t.size);
-    t.arr.(t.size) <- dummy;
+    t.arr.(t.size) <- nil;
     (* Sift down. *)
     let i = ref 0 in
     let continue = ref true in
@@ -59,8 +72,244 @@ module Heap = struct
     top
 end
 
+(* Calendar-queue timing wheel: O(1) amortized schedule and dispatch.
+
+   Events hash by virtual bucket number [vb] = floor (time / width)
+   into a circular array of sorted chains; the bucket width adapts to
+   the observed inter-event gap whenever the wheel resizes, keeping
+   average occupancy (and thus sorted-insert cost) at a handful of
+   events. Dispatch scans forward from the current bucket and takes the
+   first chain head whose [vb] matches the scanned slot — by
+   construction the global minimum under (time, seq), because [vb] is
+   monotone in [time] and equal times always share a bucket (so FIFO
+   seq ties are resolved inside one sorted chain, exactly as the heap
+   resolves them). If a whole rotation finds nothing in the current
+   year, a direct minimum over all chain heads (the safety net for any
+   distribution the geometry mispredicts) restores the invariant.
+
+   Far-future events — beyond [far_horizon] buckets ahead, including
+   anything whose bucket number would overflow [int_of_float] — wait in
+   a sorted overflow chain that is consulted at every dispatch and
+   reindexed on every resize. *)
+module Wheel = struct
+  let min_buckets = 256
+  let max_buckets = 1 lsl 20
+  let far_horizon = 1 lsl 32
+  let far_vb = max_int
+  let max_vb_float = 1.15292150460684698e18 (* 2^60 *)
+
+  type t = {
+    mutable width : float;
+    mutable inv_width : float;
+    mutable buckets : event array;
+    mutable mask : int; (* Array.length buckets - 1 *)
+    mutable size : int; (* wheel + overflow *)
+    mutable wheel_size : int;
+    mutable cur_vb : int; (* bucket of the last dispatched event *)
+    mutable lastprio : float; (* time of the last dispatched event *)
+    mutable overflow : event;
+    mutable cached : event; (* memoized peek result; nil = none *)
+    mutable cached_overflow : bool;
+  }
+
+  let create () =
+    {
+      width = 1e-3;
+      inv_width = 1e3;
+      buckets = Array.make min_buckets nil;
+      mask = min_buckets - 1;
+      size = 0;
+      wheel_size = 0;
+      cur_vb = 0;
+      lastprio = 0.0;
+      overflow = nil;
+      cached = nil;
+      cached_overflow = false;
+    }
+
+  let[@inline] vb_of t time =
+    let f = time *. t.inv_width in
+    if f >= max_vb_float then far_vb else int_of_float f
+
+  (* Sorted insert by (time, seq) into the chain rooted at [get]/[set]. *)
+  let insert_sorted ev ~head ~set_head =
+    if head == nil || before ev head then begin
+      ev.next <- head;
+      set_head ev
+    end
+    else begin
+      let prev = ref head in
+      while !prev.next != nil && not (before ev !prev.next) do
+        prev := !prev.next
+      done;
+      ev.next <- !prev.next;
+      !prev.next <- ev
+    end
+
+  let insert_bucket t ev =
+    let i = ev.vb land t.mask in
+    insert_sorted ev ~head:t.buckets.(i) ~set_head:(fun e -> t.buckets.(i) <- e)
+
+  let insert_overflow t ev =
+    insert_sorted ev ~head:t.overflow ~set_head:(fun e -> t.overflow <- e)
+
+  let next_pow2 n =
+    let p = ref min_buckets in
+    while !p < n && !p < max_buckets do
+      p := !p * 2
+    done;
+    !p
+
+  (* Adapt the bucket width to the observed event spacing: the average
+     positive gap over the first (up to) 1024 events of the sorted
+     schedule, doubled. Deterministic — no sampling randomness — and
+     robust to time ties (zero gaps are ignored) and far outliers (the
+     head of the schedule sets the cadence). *)
+  let width_of_sorted old_width (evs : event array) =
+    let n = Array.length evs in
+    let k = min n 1024 in
+    let sum = ref 0.0 and cnt = ref 0 in
+    for i = 1 to k - 1 do
+      let g = evs.(i).time -. evs.(i - 1).time in
+      if g > 0.0 then begin
+        sum := !sum +. g;
+        incr cnt
+      end
+    done;
+    if !cnt = 0 then old_width
+    else Float.max 1e-9 (Float.min 1e6 (2.0 *. !sum /. float_of_int !cnt))
+
+  let rebuild t =
+    let evs = Array.make t.size nil in
+    let j = ref 0 in
+    Array.iter
+      (fun head ->
+        let e = ref head in
+        while !e != nil do
+          evs.(!j) <- !e;
+          incr j;
+          e := !e.next
+        done)
+      t.buckets;
+    let e = ref t.overflow in
+    while !e != nil do
+      evs.(!j) <- !e;
+      incr j;
+      e := !e.next
+    done;
+    Array.sort (fun a b -> if before a b then -1 else 1) evs;
+    t.width <- width_of_sorted t.width evs;
+    t.inv_width <- 1.0 /. t.width;
+    let n = next_pow2 t.size in
+    t.buckets <- Array.make n nil;
+    t.mask <- n - 1;
+    t.cur_vb <- vb_of t t.lastprio;
+    t.overflow <- nil;
+    t.wheel_size <- 0;
+    t.cached <- nil;
+    (* Walk the sorted schedule backwards, prepending: each chain comes
+       out ascending with O(1) work per event. *)
+    for i = Array.length evs - 1 downto 0 do
+      let ev = evs.(i) in
+      let vb = vb_of t ev.time in
+      ev.vb <- vb;
+      if vb - t.cur_vb > far_horizon then begin
+        ev.next <- t.overflow;
+        t.overflow <- ev
+      end
+      else begin
+        let b = vb land t.mask in
+        ev.next <- t.buckets.(b);
+        t.buckets.(b) <- ev;
+        t.wheel_size <- t.wheel_size + 1
+      end
+    done
+
+  let push t ev =
+    t.cached <- nil;
+    ev.vb <- vb_of t ev.time;
+    if ev.vb - t.cur_vb > far_horizon then insert_overflow t ev
+    else begin
+      insert_bucket t ev;
+      t.wheel_size <- t.wheel_size + 1
+    end;
+    t.size <- t.size + 1;
+    if t.wheel_size > 2 * (t.mask + 1) && t.mask + 1 < max_buckets then
+      rebuild t
+
+  (* Locate the global minimum without removing it; memoized for the
+     pop that typically follows. *)
+  let find_min t =
+    if t.size = 0 then nil
+    else begin
+      let best = ref nil in
+      if t.wheel_size > 0 then begin
+        (* One year, starting at the current bucket. *)
+        let n = t.mask + 1 in
+        let vb = ref t.cur_vb and count = ref 0 in
+        while !best == nil && !count < n do
+          let h = t.buckets.(!vb land t.mask) in
+          if h != nil && h.vb = !vb then best := h
+          else begin
+            incr vb;
+            incr count
+          end
+        done;
+        if !best == nil then begin
+          (* Nothing due this year: direct minimum over chain heads.
+             Distinct buckets never hold equal times (same time = same
+             bucket), so (time, seq) comparison needs no extra care. *)
+          Array.iter
+            (fun h ->
+              if h != nil && (!best == nil || before h !best) then best := h)
+            t.buckets
+        end
+      end;
+      (match t.overflow with
+      | o when o != nil && (!best == nil || before o !best) ->
+        t.cached_overflow <- true;
+        best := o
+      | _ -> t.cached_overflow <- false);
+      t.cached <- !best;
+      !best
+    end
+
+  let peek t = if t.cached != nil then t.cached else find_min t
+
+  let pop t =
+    let ev = peek t in
+    assert (ev != nil);
+    if t.cached_overflow then t.overflow <- ev.next
+    else begin
+      let i = ev.vb land t.mask in
+      (* The minimum is always the head of its chain. *)
+      assert (t.buckets.(i) == ev);
+      t.buckets.(i) <- ev.next;
+      t.wheel_size <- t.wheel_size - 1
+    end;
+    ev.next <- nil;
+    t.size <- t.size - 1;
+    t.cached <- nil;
+    t.lastprio <- ev.time;
+    if not t.cached_overflow then t.cur_vb <- ev.vb
+    else begin
+      t.cached_overflow <- false;
+      let vb = vb_of t ev.time in
+      if vb <> far_vb then t.cur_vb <- vb
+    end;
+    if t.size >= 1 && t.wheel_size < (t.mask + 1) / 8 && t.mask + 1 > min_buckets
+    then rebuild t;
+    ev
+
+  let peek_opt t =
+    let ev = peek t in
+    if ev == nil then None else Some ev
+end
+
+type queue = Qheap of Heap.t | Qwheel of Wheel.t
+
 type t = {
-  heap : Heap.t;
+  q : queue;
   mutable clock : float;
   mutable next_seq : int;
   mutable processed : int;
@@ -70,10 +319,22 @@ type t = {
   m_events : Opennf_obs.Metrics.counter;
 }
 
-let create ?(seed = 1) ?(obs = Opennf_obs.Hub.disabled) () =
+(* The wheel is the default; OPENNF_SCHEDULER=heap flips every engine
+   in the process to the reference binary heap (the two dispatch
+   identically — that is what the bench-check smoke diff asserts). *)
+let default_queue () =
+  match Sys.getenv_opt "OPENNF_SCHEDULER" with
+  | Some ("heap" | "binheap") -> `Heap
+  | _ -> `Wheel
+
+let create ?(seed = 1) ?(obs = Opennf_obs.Hub.disabled) ?queue () =
+  let kind = match queue with Some k -> k | None -> default_queue () in
   let t =
     {
-      heap = Heap.create ();
+      q =
+        (match kind with
+        | `Heap -> Qheap (Heap.create ())
+        | `Wheel -> Qwheel (Wheel.create ()));
       clock = 0.0;
       next_seq = 0;
       processed = 0;
@@ -93,27 +354,35 @@ let now t = t.clock
 let rng t = t.rng
 
 let schedule_at t time thunk =
+  if not (Float.is_finite time) then
+    invalid_arg "Engine.schedule_at: time must be finite";
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
          time t.clock);
-  Heap.push t.heap { time; seq = t.next_seq; thunk };
+  let ev = { time; seq = t.next_seq; thunk; vb = 0; next = nil } in
+  (match t.q with Qheap h -> Heap.push h ev | Qwheel w -> Wheel.push w ev);
   t.next_seq <- t.next_seq + 1
 
 let schedule t ~delay thunk =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (t.clock +. delay) thunk
 
+let peek t =
+  match t.q with Qheap h -> Heap.peek h | Qwheel w -> Wheel.peek_opt w
+
+let pop t = match t.q with Qheap h -> Heap.pop h | Qwheel w -> Wheel.pop w
+
 let run ?(until = infinity) t =
   if t.running then invalid_arg "Engine.run: already running";
   t.running <- true;
   let continue = ref true in
   while !continue do
-    match Heap.peek t.heap with
+    match peek t with
     | None -> continue := false
     | Some ev when ev.time > until -> continue := false
     | Some _ ->
-      let ev = Heap.pop t.heap in
+      let ev = pop t in
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
       Opennf_obs.Metrics.incr t.m_events;
@@ -122,5 +391,7 @@ let run ?(until = infinity) t =
   if until <> infinity && t.clock < until then t.clock <- until;
   t.running <- false
 
-let pending t = t.heap.Heap.size
+let pending t =
+  match t.q with Qheap h -> h.Heap.size | Qwheel w -> w.Wheel.size
+
 let processed t = t.processed

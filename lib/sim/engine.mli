@@ -7,12 +7,20 @@
 
 type t
 
-val create : ?seed:int -> ?obs:Opennf_obs.Hub.t -> unit -> t
+val create :
+  ?seed:int -> ?obs:Opennf_obs.Hub.t -> ?queue:[ `Wheel | `Heap ] -> unit -> t
 (** [create ~seed ()] makes an engine whose clock is at 0.0 and whose
     root RNG is seeded with [seed] (default 1). [obs] (default
     {!Opennf_obs.Hub.disabled}) is the observability hub; the engine
     installs its virtual clock as the hub's trace timebase and counts
-    dispatched events under ["engine.events"]. *)
+    dispatched events under ["engine.events"].
+
+    [queue] selects the event-queue implementation: [`Wheel] (default)
+    is an O(1)-amortized calendar-queue timing wheel; [`Heap] is the
+    reference O(log n) binary heap. Both dispatch in identical
+    (time, seq) order, so simulation results do not depend on the
+    choice. When [queue] is omitted, the [OPENNF_SCHEDULER] environment
+    variable picks ("heap" forces the reference heap). *)
 
 val obs : t -> Opennf_obs.Hub.t
 (** The hub this engine was created with, for components to share. *)

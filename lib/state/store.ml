@@ -123,6 +123,245 @@ module Perflow = struct
   let size t = Flow.Table.length t.table
 end
 
+(* Arena-backed per-flow store: same key semantics as {!Perflow}
+   (canonicalized 5-tuples) but rows live in an {!Opennf_util.Arena}
+   slab — the GC never walks them — and the value is not an OCaml
+   object at all: the NF reads and writes typed fields of the row
+   payload through an integer handle. Point lookups go through a flat
+   open-addressing index (an int array: no buckets, no cons cells);
+   ordered enumeration walks the same {!Opennf_util.Omap} mirror shape
+   as {!Perflow}, except the mirror is keyed by handles and the
+   comparator reads the 5-tuple straight out of the row bytes. *)
+module Perflow_arena = struct
+  module Arena = Opennf_util.Arena
+
+  (* Row layout: canonical key at offset 0, payload at {!payload_off}.
+     13 key bytes, then padding so NF payload layouts start 8-aligned. *)
+  let key_size = 13
+  let payload_off = 16
+  let proto_rank = function Flow.Tcp -> 0 | Flow.Udp -> 1 | Flow.Icmp -> 2
+  let proto_of_rank = function
+    | 0 -> Flow.Tcp
+    | 1 -> Flow.Udp
+    | 2 -> Flow.Icmp
+    | r -> invalid_arg (Printf.sprintf "Perflow_arena: proto rank %d" r)
+
+  type t = {
+    arena : Arena.t;
+    (* Open-addressing index: slot 0 = empty, -1 = tombstone, else a
+       live handle (handles are never 0: live generations are odd). *)
+    mutable idx : int array;
+    mutable mask : int;
+    mutable count : int;
+    mutable tombs : int;
+    mirror : (Arena.handle, unit) Omap.t;
+  }
+
+  let min_slots = 64
+
+  (* Same field order as [Flow.compare], read from row bytes. *)
+  let cmp_rows arena a b =
+    let c = Int.compare (Arena.get_u32 arena a 0) (Arena.get_u32 arena b 0) in
+    if c <> 0 then c
+    else
+      let c = Int.compare (Arena.get_u32 arena a 4) (Arena.get_u32 arena b 4) in
+      if c <> 0 then c
+      else
+        let c = Int.compare (Arena.get_u8 arena a 8) (Arena.get_u8 arena b 8) in
+        if c <> 0 then c
+        else
+          let c =
+            Int.compare (Arena.get_u16 arena a 9) (Arena.get_u16 arena b 9)
+          in
+          if c <> 0 then c
+          else
+            Int.compare (Arena.get_u16 arena a 11) (Arena.get_u16 arena b 11)
+
+  let create ~payload () =
+    if payload < 0 then invalid_arg "Perflow_arena.create: negative payload";
+    let arena = Arena.create ~stride:(payload_off + payload) () in
+    {
+      arena;
+      idx = Array.make min_slots 0;
+      mask = min_slots - 1;
+      count = 0;
+      tombs = 0;
+      mirror = Omap.create ~cmp:(cmp_rows arena);
+    }
+
+  let arena t = t.arena
+  let size t = t.count
+
+  (* Integer hash over the five key fields — applied identically to a
+     [Flow.key] record and to row bytes, so probes need no boxing. *)
+  let[@inline] mix h v = (h lxor v) * 0x2545F4914F6CDD1D
+  let[@inline] hash5 src dst pr sp dp =
+    let h = mix (mix (mix (mix (mix 0x9E3779B9 src) dst) pr) sp) dp in
+    (h lxor (h lsr 29)) land max_int
+
+  let[@inline] row_matches t h src dst pr sp dp =
+    Arena.get_u32 t.arena h 0 = src
+    && Arena.get_u32 t.arena h 4 = dst
+    && Arena.get_u8 t.arena h 8 = pr
+    && Arena.get_u16 t.arena h 9 = sp
+    && Arena.get_u16 t.arena h 11 = dp
+
+  (* Find the slot holding the key, or -1. Canonical key fields only. *)
+  let probe_find t src dst pr sp dp =
+    let hash = hash5 src dst pr sp dp in
+    let i = ref (hash land t.mask) in
+    let slot = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let v = t.idx.(!i) in
+      if v = 0 then continue := false
+      else if v <> -1 && row_matches t v src dst pr sp dp then begin
+        slot := !i;
+        continue := false
+      end
+      else i := (!i + 1) land t.mask
+    done;
+    !slot
+
+  let rehash t slots =
+    let idx = Array.make slots 0 in
+    let mask = slots - 1 in
+    Array.iter
+      (fun v ->
+        if v <> 0 && v <> -1 then begin
+          let hash =
+            hash5 (Arena.get_u32 t.arena v 0) (Arena.get_u32 t.arena v 4)
+              (Arena.get_u8 t.arena v 8)
+              (Arena.get_u16 t.arena v 9)
+              (Arena.get_u16 t.arena v 11)
+          in
+          let i = ref (hash land mask) in
+          while idx.(!i) <> 0 do
+            i := (!i + 1) land mask
+          done;
+          idx.(!i) <- v
+        end)
+      t.idx;
+    t.idx <- idx;
+    t.mask <- mask;
+    t.tombs <- 0
+
+  let key_of t h =
+    {
+      Flow.src_ip = Ipaddr.of_int (Arena.get_u32 t.arena h 0);
+      dst_ip = Ipaddr.of_int (Arena.get_u32 t.arena h 4);
+      proto = proto_of_rank (Arena.get_u8 t.arena h 8);
+      src_port = Arena.get_u16 t.arena h 9;
+      dst_port = Arena.get_u16 t.arena h 11;
+    }
+
+  (* Box-free point lookup: [Arena.null] means absent. *)
+  let find t k =
+    let k = Flow.canonical k in
+    let s =
+      probe_find t
+        (Ipaddr.to_int k.Flow.src_ip)
+        (Ipaddr.to_int k.Flow.dst_ip)
+        (proto_rank k.Flow.proto) k.Flow.src_port k.Flow.dst_port
+    in
+    if s = -1 then Arena.null else t.idx.(s)
+
+  let find_opt t k =
+    let h = find t k in
+    if h = Arena.null then None else Some h
+
+  let mem t k = find t k <> Arena.null
+
+  let insert t k =
+    let k = Flow.canonical k in
+    let src = Ipaddr.to_int k.Flow.src_ip
+    and dst = Ipaddr.to_int k.Flow.dst_ip
+    and pr = proto_rank k.Flow.proto
+    and sp = k.Flow.src_port
+    and dp = k.Flow.dst_port in
+    (* One pass: find the key, remembering the first reusable slot. *)
+    let hash = hash5 src dst pr sp dp in
+    let i = ref (hash land t.mask) in
+    let free = ref (-1) in
+    let found = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let v = t.idx.(!i) in
+      if v = 0 then begin
+        if !free = -1 then free := !i;
+        continue := false
+      end
+      else if v = -1 then begin
+        if !free = -1 then free := !i;
+        i := (!i + 1) land t.mask
+      end
+      else if row_matches t v src dst pr sp dp then begin
+        found := v;
+        continue := false
+      end
+      else i := (!i + 1) land t.mask
+    done;
+    if !found <> 0 then !found
+    else begin
+      let h = Arena.alloc t.arena in
+      Arena.set_u32 t.arena h 0 src;
+      Arena.set_u32 t.arena h 4 dst;
+      Arena.set_u8 t.arena h 8 pr;
+      Arena.set_u16 t.arena h 9 sp;
+      Arena.set_u16 t.arena h 11 dp;
+      if t.idx.(!free) = -1 then t.tombs <- t.tombs - 1;
+      t.idx.(!free) <- h;
+      t.count <- t.count + 1;
+      Omap.set t.mirror h ();
+      (* Keep (live + tombstones) at or below half the slots. *)
+      if 2 * (t.count + t.tombs) > t.mask + 1 then begin
+        let slots = ref (t.mask + 1) in
+        while 2 * (t.count + 1) > !slots do
+          slots := !slots * 2
+        done;
+        rehash t !slots
+      end;
+      h
+    end
+
+  let remove t k =
+    let k = Flow.canonical k in
+    let s =
+      probe_find t
+        (Ipaddr.to_int k.Flow.src_ip)
+        (Ipaddr.to_int k.Flow.dst_ip)
+        (proto_rank k.Flow.proto) k.Flow.src_port k.Flow.dst_port
+    in
+    if s = -1 then false
+    else begin
+      let h = t.idx.(s) in
+      (* Mirror removal must precede the free: its comparator reads the
+         row bytes, which the free invalidates. *)
+      Omap.remove t.mirror h;
+      Arena.free t.arena h;
+      t.idx.(s) <- -1;
+      t.count <- t.count - 1;
+      t.tombs <- t.tombs + 1;
+      true
+    end
+
+  (* Handles in ascending key order (the mirror's order). *)
+  let iter_ordered t f = Omap.fold_asc (fun h () () -> f h) t.mirror ()
+  let fold_ordered t ~init ~f = Omap.fold_asc (fun h () acc -> f h acc) t.mirror init
+
+  let matching t filter =
+    match Filter.exact_key filter with
+    | Some key ->
+      let h = find t key in
+      if h = Arena.null then [] else [ (key_of t h, h) ]
+    | None ->
+      Omap.fold_desc
+        (fun h () acc ->
+          let k = key_of t h in
+          if Filter.matches_flow filter k then (k, h) :: acc else acc)
+        t.mirror []
+end
+
 module Per_host = struct
   type 'a t = {
     table : (Ipaddr.t, 'a) Hashtbl.t;

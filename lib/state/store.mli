@@ -36,6 +36,65 @@ module Perflow : sig
   val size : 'a t -> int
 end
 
+module Perflow_arena : sig
+  type t
+  (** Connection-scoped state in flat memory: rows of a fixed-stride
+      {!Opennf_util.Arena} slab, addressed by integer handles. Same
+      canonical-key semantics as {!Perflow}, but the GC never traverses
+      the resident state — the marking cost of a million live flows is
+      a handful of byte slabs, not millions of boxed records. Point
+      lookups probe a flat open-addressing int array; ordered
+      enumeration walks an {!Opennf_util.Omap} mirror whose comparator
+      reads 5-tuples straight out of the row bytes. *)
+
+  val key_size : int
+  (** Bytes of each row holding the canonical key (13). *)
+
+  val payload_off : int
+  (** Byte offset where the caller's payload fields start (16; the key
+      plus padding, so 8-byte payload fields sit aligned). *)
+
+  val create : payload:int -> unit -> t
+  (** [create ~payload ()]: a store whose rows carry [payload] bytes of
+      caller-defined fields after the key. *)
+
+  val arena : t -> Opennf_util.Arena.t
+  (** The underlying arena, for typed payload access and direct
+      chunk-codec reads. Offsets passed to accessors must be
+      [payload_off]-relative plus the field offset. *)
+
+  val find : t -> Flow.key -> Opennf_util.Arena.handle
+  (** Box-free lookup: the live handle, or {!Opennf_util.Arena.null}
+      when absent. Keys are canonicalized, as in {!Perflow.find}. *)
+
+  val find_opt : t -> Flow.key -> Opennf_util.Arena.handle option
+  val mem : t -> Flow.key -> bool
+
+  val insert : t -> Flow.key -> Opennf_util.Arena.handle
+  (** The existing handle for the (canonicalized) key, or a fresh
+      zero-payload row with the key written. *)
+
+  val remove : t -> Flow.key -> bool
+  (** Frees the row; any retained handle becomes stale (every arena
+      accessor will reject it). Returns whether the key was present. *)
+
+  val key_of : t -> Opennf_util.Arena.handle -> Flow.key
+
+  val matching : t -> Filter.t -> (Flow.key * Opennf_util.Arena.handle) list
+  (** Entries matching the filter, ascending key order. Exact 5-tuple
+      filters are a single probe; anything else is an in-order walk of
+      the sorted mirror (no per-host index on the arena path — scoped
+      selection on this store is enumeration, not indexed lookup). *)
+
+  val iter_ordered : t -> (Opennf_util.Arena.handle -> unit) -> unit
+  (** Live handles in ascending key order. *)
+
+  val fold_ordered :
+    t -> init:'b -> f:(Opennf_util.Arena.handle -> 'b -> 'b) -> 'b
+
+  val size : t -> int
+end
+
 module Per_host : sig
   type 'a t
   (** Host-scoped multi-flow state (e.g. per-host scan counters). *)

@@ -1,0 +1,199 @@
+(* Flat-memory slab arena: fixed-stride rows in Bytes chunks, addressed
+   by integer handles. The point is what the GC does NOT see — a
+   million live rows are a handful of byte slabs plus small int arrays,
+   so major-heap marking cost stays flat however much per-flow state an
+   NF holds. Boxed record stores are the thing this replaces: at 1M
+   flows those put tens of millions of pointered words in front of
+   every collection.
+
+   Handles are generation-stamped (the pattern proven by Lz's
+   match-finder table): a handle packs (generation << 32 | row index),
+   every alloc/free bumps the row's generation, and each accessor
+   validates the stamp — so a handle kept across a free (or across a
+   free-list reuse of the row) raises instead of silently reading
+   someone else's row. Live rows always carry an odd generation, which
+   also rejects forged or [null] handles against never-used rows.
+
+   Freed rows are threaded onto a free list through their own first 8
+   bytes (hence the stride >= 8 requirement) — freeing costs no
+   allocation, and reuse pops in LIFO order, deterministically. *)
+
+type handle = int
+
+let null : handle = 0
+
+(* Row index lives in the low 32 bits; generation in the bits above.
+   Generations wrap modulo 2^30 (parity-preserving, so live stays odd). *)
+let idx_bits = 32
+let idx_mask = (1 lsl idx_bits) - 1
+let gen_mask = (1 lsl 30) - 1
+
+(* 32k rows per slab: big enough that slab bookkeeping vanishes, small
+   enough that growth never copies row storage. *)
+let slab_bits = 15
+let slab_rows = 1 lsl slab_bits
+let slab_mask = slab_rows - 1
+
+type t = {
+  stride : int;
+  mutable slabs : Bytes.t array;
+  mutable gens : int array array; (* per-slab generation stamps *)
+  mutable free_head : int; (* row index; -1 = empty *)
+  mutable next_fresh : int; (* first never-allocated row *)
+  mutable live : int;
+}
+
+let create ~stride () =
+  if stride < 8 then invalid_arg "Arena.create: stride must be >= 8";
+  { stride; slabs = [||]; gens = [||]; free_head = -1; next_fresh = 0; live = 0 }
+
+let stride t = t.stride
+let live t = t.live
+let capacity t = Array.length t.slabs * slab_rows
+
+let stale () = invalid_arg "Arena: stale or invalid handle"
+
+(* Validate [h] and return its row index. Live handles carry the odd
+   generation currently stamped on their row; anything else raises. *)
+let[@inline] idx_of t h =
+  let g = h lsr idx_bits in
+  let idx = h land idx_mask in
+  let s = idx lsr slab_bits in
+  if
+    g land 1 = 0
+    || s >= Array.length t.gens
+    || Array.unsafe_get (Array.unsafe_get t.gens s) (idx land slab_mask) <> g
+  then stale ();
+  idx
+
+let is_live t h =
+  let g = h lsr idx_bits in
+  let idx = h land idx_mask in
+  let s = idx lsr slab_bits in
+  g land 1 = 1
+  && s < Array.length t.gens
+  && t.gens.(s).(idx land slab_mask) = g
+
+let add_slab t =
+  let n = Array.length t.slabs in
+  let slabs = Array.make (n + 1) Bytes.empty in
+  Array.blit t.slabs 0 slabs 0 n;
+  slabs.(n) <- Bytes.create (slab_rows * t.stride);
+  t.slabs <- slabs;
+  let gens = Array.make (n + 1) [||] in
+  Array.blit t.gens 0 gens 0 n;
+  gens.(n) <- Array.make slab_rows 0;
+  t.gens <- gens
+
+let alloc t =
+  let idx =
+    if t.free_head >= 0 then begin
+      let idx = t.free_head in
+      let b = t.slabs.(idx lsr slab_bits) in
+      t.free_head <-
+        Int64.to_int (Bytes.get_int64_le b ((idx land slab_mask) * t.stride));
+      idx
+    end
+    else begin
+      if t.next_fresh = capacity t then add_slab t;
+      let idx = t.next_fresh in
+      t.next_fresh <- idx + 1;
+      idx
+    end
+  in
+  let s = idx lsr slab_bits and r = idx land slab_mask in
+  let g = (t.gens.(s).(r) + 1) land gen_mask in
+  t.gens.(s).(r) <- g;
+  (* Rows are handed out zeroed, so equivalence between an arena-backed
+     store and a boxed reference cannot depend on stale bytes. *)
+  Bytes.fill t.slabs.(s) (r * t.stride) t.stride '\000';
+  t.live <- t.live + 1;
+  (g lsl idx_bits) lor idx
+
+let free t h =
+  let idx = idx_of t h in
+  let s = idx lsr slab_bits and r = idx land slab_mask in
+  t.gens.(s).(r) <- (t.gens.(s).(r) + 1) land gen_mask;
+  Bytes.set_int64_le t.slabs.(s) (r * t.stride) (Int64.of_int t.free_head);
+  t.free_head <- idx;
+  t.live <- t.live - 1
+
+(* --- typed field accessors ----------------------------------------------
+
+   Each accessor validates the handle and addresses [off] bytes into the
+   row. Integer accessors compose 16-bit loads/stores so no Int32/Int64
+   box is allocated on the hot path; [f64] goes through Int64 bits (a
+   short-lived box, irrelevant next to what a boxed record costs). *)
+
+let[@inline] addr t idx off = ((idx land slab_mask) * t.stride) + off
+
+let get_u8 t h off =
+  let idx = idx_of t h in
+  Bytes.get_uint8 t.slabs.(idx lsr slab_bits) (addr t idx off)
+
+let set_u8 t h off v =
+  let idx = idx_of t h in
+  Bytes.set_uint8 t.slabs.(idx lsr slab_bits) (addr t idx off) v
+
+let get_u16 t h off =
+  let idx = idx_of t h in
+  Bytes.get_uint16_le t.slabs.(idx lsr slab_bits) (addr t idx off)
+
+let set_u16 t h off v =
+  let idx = idx_of t h in
+  Bytes.set_uint16_le t.slabs.(idx lsr slab_bits) (addr t idx off) (v land 0xFFFF)
+
+let get_u32 t h off =
+  let idx = idx_of t h in
+  let b = t.slabs.(idx lsr slab_bits) in
+  let p = addr t idx off in
+  Bytes.get_uint16_le b p lor (Bytes.get_uint16_le b (p + 2) lsl 16)
+
+let set_u32 t h off v =
+  let idx = idx_of t h in
+  let b = t.slabs.(idx lsr slab_bits) in
+  let p = addr t idx off in
+  Bytes.set_uint16_le b p (v land 0xFFFF);
+  Bytes.set_uint16_le b (p + 2) ((v lsr 16) land 0xFFFF)
+
+(* Full-width OCaml int (63-bit): arithmetic shifts sign-extend on the
+   way out exactly as the truncated top bits demand, mirroring
+   [Bytes_io]'s box-free int codec. *)
+let get_int t h off =
+  let idx = idx_of t h in
+  let b = t.slabs.(idx lsr slab_bits) in
+  let p = addr t idx off in
+  Bytes.get_uint16_le b p
+  lor (Bytes.get_uint16_le b (p + 2) lsl 16)
+  lor (Bytes.get_uint16_le b (p + 4) lsl 32)
+  lor (Bytes.get_uint16_le b (p + 6) lsl 48)
+
+let set_int t h off v =
+  let idx = idx_of t h in
+  let b = t.slabs.(idx lsr slab_bits) in
+  let p = addr t idx off in
+  Bytes.set_uint16_le b p (v land 0xFFFF);
+  Bytes.set_uint16_le b (p + 2) ((v asr 16) land 0xFFFF);
+  Bytes.set_uint16_le b (p + 4) ((v asr 32) land 0xFFFF);
+  Bytes.set_uint16_le b (p + 6) ((v asr 48) land 0xFFFF)
+
+let get_f64 t h off =
+  let idx = idx_of t h in
+  Int64.float_of_bits
+    (Bytes.get_int64_le t.slabs.(idx lsr slab_bits) (addr t idx off))
+
+let set_f64 t h off v =
+  let idx = idx_of t h in
+  Bytes.set_int64_le t.slabs.(idx lsr slab_bits) (addr t idx off)
+    (Int64.bits_of_float v)
+
+(* Live rows in ascending row-index order (deterministic, independent
+   of free-list history). *)
+let iter_live t f =
+  for s = 0 to Array.length t.gens - 1 do
+    let gens = t.gens.(s) in
+    for r = 0 to slab_rows - 1 do
+      let g = gens.(r) in
+      if g land 1 = 1 then f ((g lsl idx_bits) lor ((s lsl slab_bits) lor r))
+    done
+  done

@@ -1,0 +1,61 @@
+(** Flat-memory slab arena: fixed-stride unboxed rows, int handles.
+
+    Rows live in [Bytes] slabs the GC never traverses, so holding a
+    million rows adds nothing to marking cost. Handles are
+    generation-stamped: every accessor validates its handle and raises
+    [Invalid_argument] on a handle that was freed (or whose row was
+    reused off the free list) — dangling state is an error, never a
+    silent misread. *)
+
+type handle = int
+(** Packed (generation, row index). Treat as opaque; [null] and any
+    freed handle are rejected by every accessor. *)
+
+val null : handle
+(** A handle no arena ever issues; useful as an "absent" sentinel in
+    unboxed contexts where [option] would allocate. *)
+
+type t
+
+val create : stride:int -> unit -> t
+(** [create ~stride ()] makes an arena of [stride]-byte rows
+    ([stride >= 8]; the free list is threaded through the first 8 bytes
+    of freed rows). *)
+
+val stride : t -> int
+
+val alloc : t -> handle
+(** Claim a row (zero-filled), reusing the most recently freed row
+    first. O(1) amortized; growth adds a fixed-size slab, never copies
+    row storage. *)
+
+val free : t -> handle -> unit
+(** Return a row to the free list. The handle (and any copy of it)
+    becomes invalid immediately. *)
+
+val is_live : t -> handle -> bool
+val live : t -> int
+val capacity : t -> int
+
+val iter_live : t -> (handle -> unit) -> unit
+(** Live rows in ascending row-index order (deterministic, independent
+    of allocation/free history). *)
+
+(** {1 Typed field accessors}
+
+    [off] is a byte offset within the row; the caller owns the layout.
+    Integer accessors are box-free; [f64] round-trips exact IEEE bits. *)
+
+val get_u8 : t -> handle -> int -> int
+val set_u8 : t -> handle -> int -> int -> unit
+val get_u16 : t -> handle -> int -> int
+val set_u16 : t -> handle -> int -> int -> unit
+val get_u32 : t -> handle -> int -> int
+val set_u32 : t -> handle -> int -> int -> unit
+
+val get_int : t -> handle -> int -> int
+(** Full 63-bit OCaml int in 8 bytes (sign-preserving). *)
+
+val set_int : t -> handle -> int -> int -> unit
+val get_f64 : t -> handle -> int -> float
+val set_f64 : t -> handle -> int -> float -> unit

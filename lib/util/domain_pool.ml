@@ -9,17 +9,78 @@
    per-task slots, and [Domain.join] publishes them to the caller. An
    exception in any task is re-raised after all domains finish. *)
 
-let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count ())
+(* The runtime's recommendation can exceed what the process may
+   actually use (containers and cpusets restrict affinity without
+   shrinking the machine), and spawning domains that must time-share
+   one core is pure overhead. Cross-check against the kernel's
+   affinity mask when it is readable. *)
+let affinity_cpus () =
+  let count_list spec =
+    (* "0-2,4" — comma-separated single CPUs or inclusive ranges. *)
+    try
+      let n =
+        String.split_on_char ',' (String.trim spec)
+        |> List.fold_left
+             (fun acc part ->
+               match String.index_opt part '-' with
+               | None -> acc + 1
+               | Some i ->
+                 let lo = int_of_string (String.sub part 0 i) in
+                 let hi =
+                   int_of_string
+                     (String.sub part (i + 1) (String.length part - i - 1))
+                 in
+                 acc + hi - lo + 1)
+             0
+      in
+      if n > 0 then Some n else None
+    with Failure _ -> None
+  in
+  let tag = "Cpus_allowed_list:" in
+  let tag_len = String.length tag in
+  match
+    In_channel.with_open_text "/proc/self/status" (fun ic ->
+        let rec scan () =
+          match In_channel.input_line ic with
+          | None -> None
+          | Some l when String.length l > tag_len && String.sub l 0 tag_len = tag
+            ->
+            count_list (String.sub l tag_len (String.length l - tag_len))
+          | Some _ -> scan ()
+        in
+        scan ())
+  with
+  | exception Sys_error _ -> None
+  | r -> r
+
+let default_domains () =
+  let rec_count = Domain.recommended_domain_count () in
+  let usable =
+    match affinity_cpus () with
+    | Some cpus -> Stdlib.min rec_count cpus
+    | None -> rec_count
+  in
+  Stdlib.max 1 usable
+
+(* The pool size [run ?domains tasks] will actually use — exposed so
+   callers (the benches) can report real parallelism instead of what
+   they asked for, and skip pool-vs-serial comparisons that would
+   measure nothing. *)
+let pool_size ?domains ~tasks () =
+  if tasks = 0 then 0
+  else
+    Stdlib.max 1
+      (Stdlib.min tasks
+         (match domains with Some d -> d | None -> default_domains ()))
 
 (* [run ?domains tasks] evaluates every thunk and returns their results
    in task order. [domains] caps the pool size (default: the runtime's
-   recommended domain count, never more than there are tasks). *)
+   recommended domain count, never more than there are tasks). With a
+   one-domain pool there is nothing to dispatch: tasks run inline with
+   no atomics, no spawns and no join. *)
 let run ?domains (tasks : (unit -> 'a) array) : 'a array =
   let n = Array.length tasks in
-  let pool =
-    Stdlib.max 1
-      (Stdlib.min n (match domains with Some d -> d | None -> default_domains ()))
-  in
+  let pool = pool_size ?domains ~tasks:n () in
   if n = 0 then [||]
   else if pool = 1 then Array.map (fun f -> f ()) tasks
   else begin

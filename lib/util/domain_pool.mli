@@ -7,7 +7,16 @@
     only changes which wall-clock core a scenario occupies. *)
 
 val default_domains : unit -> int
-(** The runtime's recommended domain count (at least 1). *)
+(** Usable domain count (at least 1): the runtime's recommendation,
+    capped by the process CPU affinity mask when the kernel exposes it
+    — a cpuset-restricted process gets the domains it can actually
+    run, not the machine's core count. *)
+
+val pool_size : ?domains:int -> tasks:int -> unit -> int
+(** The pool size {!run} will use for [tasks] thunks under the same
+    [domains] argument (0 when there are no tasks). Lets callers report
+    real parallelism and skip pool-vs-serial comparisons when the
+    answer is 1 (tasks then run inline, with no dispatch overhead). *)
 
 val run : ?domains:int -> (unit -> 'a) array -> 'a array
 (** [run tasks] evaluates every thunk and returns their results in task

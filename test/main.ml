@@ -6,6 +6,7 @@ let () =
       ("net", Test_net.suite);
       ("index-equiv", Test_index_equiv.suite);
       ("ordered", Test_ordered.suite);
+      ("arena", Test_arena.suite);
       ("state", Test_state.suite);
       ("sb", Test_sb.suite);
       ("nfs", Test_nfs.suite);

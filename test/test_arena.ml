@@ -1,0 +1,391 @@
+(* Flat-memory arenas and the timing wheel (ISSUE 6).
+
+   Three equivalence obligations, one regression:
+
+   - the slab arena's typed accessors must roundtrip every field width
+     (including negative full-width ints), zero fresh rows, and reject
+     stale handles — both after a plain free and after the freed row is
+     reused off the free list (the generation-stamp guarantee);
+   - an arena-backed per-flow store must be observationally identical
+     to a boxed reference model under random churn
+     (insert/mutate/delete/match);
+   - the timing-wheel scheduler must dispatch in exactly the reference
+     binary heap's (time, seq) order on random schedules, including
+     ties, zero delays, nested scheduling and far-future timers;
+   - NAT port allocation must wrap within its configured range and
+     recycle ports of Closed entries instead of marching past 65535. *)
+
+module Arena = Opennf_util.Arena
+module Pfa = Opennf_state.Store.Perflow_arena
+module Engine = Opennf_sim.Engine
+open Opennf_net
+
+(* --- arena unit tests -------------------------------------------------- *)
+
+let test_arena_roundtrip () =
+  let a = Arena.create ~stride:40 () in
+  let h = Arena.alloc a in
+  Arena.set_u8 a h 0 0xAB;
+  Arena.set_u16 a h 1 0xBEEF;
+  Arena.set_u32 a h 3 0xDEADBEEF;
+  Arena.set_int a h 8 (-123456789);
+  Arena.set_int a h 16 max_int;
+  Arena.set_int a h 24 min_int;
+  Arena.set_f64 a h 32 (-3.5e-9);
+  Alcotest.(check int) "u8" 0xAB (Arena.get_u8 a h 0);
+  Alcotest.(check int) "u16" 0xBEEF (Arena.get_u16 a h 1);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Arena.get_u32 a h 3);
+  Alcotest.(check int) "negative int" (-123456789) (Arena.get_int a h 8);
+  Alcotest.(check int) "max_int" max_int (Arena.get_int a h 16);
+  Alcotest.(check int) "min_int" min_int (Arena.get_int a h 24);
+  Alcotest.(check (float 0.0)) "f64 exact" (-3.5e-9) (Arena.get_f64 a h 32)
+
+let test_arena_zeroed_on_reuse () =
+  let a = Arena.create ~stride:16 () in
+  let h1 = Arena.alloc a in
+  Arena.set_int a h1 0 0x1234567890;
+  Arena.set_int a h1 8 (-1);
+  Arena.free a h1;
+  (* LIFO free list: the next alloc reuses the same row. *)
+  let h2 = Arena.alloc a in
+  Alcotest.(check int) "row reused" (h1 land 0xFFFFFFFF) (h2 land 0xFFFFFFFF);
+  Alcotest.(check int) "field 0 zeroed" 0 (Arena.get_int a h2 0);
+  Alcotest.(check int) "field 8 zeroed" 0 (Arena.get_int a h2 8)
+
+let expect_stale f =
+  Alcotest.(check bool) "stale handle rejected" true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_arena_stale_after_free () =
+  let a = Arena.create ~stride:16 () in
+  let h = Arena.alloc a in
+  Arena.free a h;
+  Alcotest.(check bool) "not live" false (Arena.is_live a h);
+  expect_stale (fun () -> Arena.get_int a h 0);
+  expect_stale (fun () -> Arena.set_u16 a h 0 1);
+  expect_stale (fun () -> Arena.free a h)
+
+let test_arena_stale_after_reuse () =
+  let a = Arena.create ~stride:16 () in
+  let h1 = Arena.alloc a in
+  Arena.free a h1;
+  let h2 = Arena.alloc a in
+  (* Same row, different generation: the old handle must not read the
+     new tenant's fields. *)
+  Arena.set_int a h2 0 42;
+  expect_stale (fun () -> Arena.get_int a h1 0);
+  Alcotest.(check int) "new handle reads" 42 (Arena.get_int a h2 0);
+  Alcotest.(check int) "null is stale" 1
+    (try
+       ignore (Arena.get_u8 a Arena.null 0);
+       0
+     with Invalid_argument _ -> 1)
+
+let test_arena_growth_and_iter () =
+  let a = Arena.create ~stride:8 () in
+  (* Cross two slab boundaries so growth is exercised. *)
+  let n = 70_000 in
+  let hs = Array.init n (fun _ -> Arena.alloc a) in
+  Array.iteri (fun i h -> Arena.set_int a h 0 i) hs;
+  Alcotest.(check int) "live" n (Arena.live a);
+  Alcotest.(check bool) "capacity >= live" true (Arena.capacity a >= n);
+  (* Free every third row; iter_live must visit the rest in ascending
+     row order regardless of the free pattern. *)
+  let freed = ref 0 in
+  Array.iteri
+    (fun i h ->
+      if i mod 3 = 0 then begin
+        Arena.free a h;
+        incr freed
+      end)
+    hs;
+  Alcotest.(check int) "live after frees" (n - !freed) (Arena.live a);
+  let seen = ref [] in
+  Arena.iter_live a (fun h -> seen := Arena.get_int a h 0 :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "iter count" (n - !freed) (List.length seen);
+  Alcotest.(check bool) "ascending row order" true
+    (List.for_all2 ( < )
+       (List.filteri (fun i _ -> i < List.length seen - 1) seen)
+       (List.tl seen))
+
+(* --- arena store vs boxed reference under churn ------------------------ *)
+
+(* Reuse test_ordered's tiny universe so churn collides often. *)
+let ip a b = Ipaddr.v 10 0 (a land 3) (b land 7)
+
+let key a b =
+  Flow.make ~src:(ip a b) ~dst:(ip b a)
+    ~proto:(if a land 1 = 0 then Flow.Tcp else Flow.Udp)
+    ~sport:(1000 + (a land 3))
+    ~dport:(1000 + (b land 3))
+    ()
+
+let filter_of c a b =
+  match c mod 8 with
+  | 0 -> Filter.any
+  | 1 -> Filter.of_src_host (ip a b)
+  | 2 -> Filter.of_dst_host (ip a b)
+  | 3 -> Filter.of_src_prefix (Ipaddr.Prefix.make (ip a b) 24)
+  | 4 ->
+    Filter.make ~src:(Ipaddr.Prefix.host (ip a b))
+      ~dst:(Ipaddr.Prefix.host (ip b a)) ()
+  | 5 ->
+    Filter.make ~src:(Ipaddr.Prefix.host (ip a b)) ~dst_port:(1000 + (b land 3)) ()
+  | 6 -> Filter.make ~proto:(if a land 1 = 0 then Flow.Tcp else Flow.Udp) ()
+  | _ -> Filter.of_key (key a b)
+
+let ops_arb =
+  QCheck.(list_of_size (Gen.int_range 1 120) (triple small_nat small_nat small_nat))
+
+(* Payload: one int and one float field, as a stand-in for NF state. *)
+let off_v = Pfa.payload_off
+let off_f = Pfa.payload_off + 8
+
+let pfa_equiv =
+  QCheck.Test.make
+    ~name:"perflow arena == boxed reference under churn (random)" ~count:80
+    ops_arb (fun ops ->
+      let store = Pfa.create ~payload:16 () in
+      let a = Pfa.arena store in
+      let model = ref Flow.Map.empty in
+      (* Handles retired by remove: every later access must raise. *)
+      let stale = ref [] in
+      List.for_all
+        (fun (c, x, y) ->
+          let k = Flow.canonical (key x y) in
+          (match c mod 6 with
+          | 0 | 1 ->
+            let h = Pfa.insert store k in
+            Arena.set_int a h off_v x;
+            Arena.set_f64 a h off_f (float_of_int y);
+            model := Flow.Map.add k (x, float_of_int y) !model
+          | 2 ->
+            (match Pfa.find_opt store k with
+            | Some h -> stale := h :: !stale
+            | None -> ());
+            let removed = Pfa.remove store k in
+            if removed <> Flow.Map.mem k !model then
+              QCheck.Test.fail_reportf "remove %s: presence disagreed"
+                (Flow.to_string k);
+            model := Flow.Map.remove k !model
+          | 3 ->
+            (* Mutate in place if present. *)
+            let h = Pfa.find store k in
+            if h <> Arena.null then begin
+              Arena.set_int a h off_v (Arena.get_int a h off_v + 1);
+              model :=
+                Flow.Map.update k
+                  (Option.map (fun (v, f) -> (v + 1, f)))
+                  !model
+            end
+          | _ -> ());
+          (* Point lookups agree. *)
+          (match (Pfa.find_opt store k, Flow.Map.find_opt k !model) with
+          | None, None -> ()
+          | Some h, Some (v, f) ->
+            if Arena.get_int a h off_v <> v || Arena.get_f64 a h off_f <> f then
+              QCheck.Test.fail_reportf "payload mismatch at %s"
+                (Flow.to_string k);
+            if Pfa.key_of store h <> k then
+              QCheck.Test.fail_reportf "key_of mismatch at %s" (Flow.to_string k)
+          | Some _, None ->
+            QCheck.Test.fail_reportf "ghost entry %s" (Flow.to_string k)
+          | None, Some _ ->
+            QCheck.Test.fail_reportf "lost entry %s" (Flow.to_string k));
+          if Pfa.size store <> Flow.Map.cardinal !model then
+            QCheck.Test.fail_reportf "size %d != model %d" (Pfa.size store)
+              (Flow.Map.cardinal !model);
+          (* Scoped enumeration agrees with the model, in key order. *)
+          let f = filter_of c x y in
+          let got = List.map fst (Pfa.matching store f) in
+          let want =
+            Flow.Map.fold
+              (fun k _ acc -> if Filter.matches_flow f k then k :: acc else acc)
+              !model []
+            |> List.rev
+          in
+          if got <> want then
+            QCheck.Test.fail_reportf "matching %s: %d entries, want %d"
+              (Filter.to_string f) (List.length got) (List.length want);
+          (* Retired handles stay rejected even after free-list reuse. *)
+          List.for_all
+            (fun h ->
+              not (Arena.is_live a h)
+              &&
+              try
+                ignore (Arena.get_int a h off_v);
+                false
+              with Invalid_argument _ -> true)
+            !stale)
+        ops)
+
+(* --- timing wheel vs binary heap --------------------------------------- *)
+
+(* Random schedules on a coarse grid (frequent exact ties), with zero
+   delays and nested scheduling from inside thunks. Both engines must
+   log the same ((time, seq-order) → id) dispatch sequence. *)
+let run_schedule queue ops =
+  let e = Engine.create ~queue () in
+  let log = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun (c, a, b) ->
+      incr n;
+      let id = !n in
+      let delay = float_of_int (a land 31) /. 8.0 in
+      Engine.schedule e ~delay (fun () ->
+          log := (Engine.now e, id) :: !log;
+          match c mod 4 with
+          | 0 ->
+            (* Nested: relative delay, including zero. *)
+            Engine.schedule e ~delay:(float_of_int (b land 7) /. 8.0) (fun () ->
+                log := (Engine.now e, -id) :: !log)
+          | 1 when b land 1 = 0 ->
+            (* Far-future: exercises the wheel's overflow path. *)
+            Engine.schedule e ~delay:1.0e9 (fun () ->
+                log := (Engine.now e, 1_000_000 + id) :: !log)
+          | _ -> ()))
+    ops;
+  Engine.run e;
+  (List.rev !log, Engine.processed e, Engine.now e)
+
+let wheel_heap_equiv =
+  QCheck.Test.make ~name:"timing wheel == binary heap dispatch order (random)"
+    ~count:120 ops_arb (fun ops ->
+      let heap = run_schedule `Heap ops in
+      let wheel = run_schedule `Wheel ops in
+      if heap <> wheel then
+        let (lh, ph, _), (lw, pw, _) = (heap, wheel) in
+        QCheck.Test.fail_reportf
+          "diverged: heap %d dispatches, wheel %d; first heap %s wheel %s" ph pw
+          (match lh with (t, i) :: _ -> Printf.sprintf "(%g,%d)" t i | [] -> "-")
+          (match lw with (t, i) :: _ -> Printf.sprintf "(%g,%d)" t i | [] -> "-")
+      else true)
+
+let test_wheel_far_future () =
+  let e = Engine.create ~queue:`Wheel () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0e9 (fun () -> log := "far" :: !log);
+  Engine.schedule e ~delay:0.5 (fun () -> log := "near" :: !log);
+  Engine.schedule e ~delay:1.0e6 (fun () -> log := "mid" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "overflow dispatch order" [ "near"; "mid"; "far" ] (List.rev !log);
+  Alcotest.(check (float 1e-3)) "clock at far event" 2.0e9 (Engine.now e)
+
+let test_wheel_many_ties () =
+  (* Thousands of events at identical times: FIFO within each instant. *)
+  let e = Engine.create ~queue:`Wheel () in
+  let log = ref [] in
+  for i = 0 to 4_999 do
+    Engine.schedule e ~delay:(float_of_int (i mod 5) /. 10.0) (fun () ->
+        log := i :: !log)
+  done;
+  Engine.run e;
+  let by_heap =
+    let e = Engine.create ~queue:`Heap () in
+    let log = ref [] in
+    for i = 0 to 4_999 do
+      Engine.schedule e ~delay:(float_of_int (i mod 5) /. 10.0) (fun () ->
+          log := i :: !log)
+    done;
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list int)) "tie order matches heap" by_heap (List.rev !log)
+
+(* --- NAT port allocation (regression) ---------------------------------- *)
+
+let mk_packet =
+  let next = ref 9000 in
+  fun ?(flags = []) key ->
+    incr next;
+    Packet.create ~id:!next ~key ~flags ~sent_at:0.0 ()
+
+let client_key i =
+  Flow.make ~src:(Ipaddr.v 10 1 0 i) ~dst:(Ipaddr.v 192 168 0 1)
+    ~proto:Flow.Tcp ~sport:(40_000 + i) ~dport:80 ()
+
+let test_nat_port_wrap_and_recycle () =
+  (* A six-port range: 65530..65535. The old allocator marched
+     next_port past 65535 here. *)
+  let nat = Opennf_nfs.Nat.create ~port_base:65530 ~port_limit:65535 () in
+  let impl = Opennf_nfs.Nat.impl nat in
+  for i = 0 to 5 do
+    impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Syn ] (client_key i))
+  done;
+  Alcotest.(check int) "range filled" 6 (Opennf_nfs.Nat.entry_count nat);
+  for i = 0 to 5 do
+    match Opennf_nfs.Nat.translation_of nat (client_key i) with
+    | Some p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "port %d in range" p)
+        true
+        (p >= 65530 && p <= 65535)
+    | None -> Alcotest.fail "missing translation"
+  done;
+  (* Exhausted: a seventh flow gets no entry and is counted. *)
+  impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Syn ] (client_key 6));
+  Alcotest.(check int) "no entry on exhaustion" 6 (Opennf_nfs.Nat.entry_count nat);
+  Alcotest.(check int) "exhaustion counted" 1 (Opennf_nfs.Nat.exhausted_count nat);
+  Alcotest.(check (option int))
+    "seventh flow untranslated" None
+    (Opennf_nfs.Nat.translation_of nat (client_key 6));
+  (* Close flow 2; its port must be recycled for the next new flow. *)
+  let freed_port =
+    match Opennf_nfs.Nat.translation_of nat (client_key 2) with
+    | Some p -> p
+    | None -> Alcotest.fail "flow 2 lost"
+  in
+  impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Rst ] (client_key 2));
+  Alcotest.(check bool) "flow 2 closed" true
+    (Opennf_nfs.Nat.state_of nat (client_key 2) = Some Opennf_nfs.Nat.Closed);
+  impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Syn ] (client_key 7));
+  Alcotest.(check (option int))
+    "closed port recycled" (Some freed_port)
+    (Opennf_nfs.Nat.translation_of nat (client_key 7));
+  Alcotest.(check bool) "closed entry evicted" true
+    (Opennf_nfs.Nat.state_of nat (client_key 2) = None);
+  Alcotest.(check int) "entry count steady" 6 (Opennf_nfs.Nat.entry_count nat)
+
+let test_nat_port_wraps_cursor () =
+  (* Allocation order itself wraps: after filling and recycling, the
+     cursor walks the range circularly instead of growing unboundedly. *)
+  let nat = Opennf_nfs.Nat.create ~port_base:50_000 ~port_limit:50_001 () in
+  let impl = Opennf_nfs.Nat.impl nat in
+  for round = 0 to 9 do
+    let k = client_key (round land 63) in
+    impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Syn ] k);
+    (match Opennf_nfs.Nat.translation_of nat k with
+    | Some p ->
+      Alcotest.(check bool) "wrapped port" true (p = 50_000 || p = 50_001)
+    | None -> Alcotest.fail "allocation failed with recyclable ports");
+    (* Close it so the next round can recycle. *)
+    impl.Opennf_sb.Nf_api.process_packet (mk_packet ~flags:[ Rst ] k)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "arena: field roundtrip" `Quick test_arena_roundtrip;
+    Alcotest.test_case "arena: rows zeroed on reuse" `Quick
+      test_arena_zeroed_on_reuse;
+    Alcotest.test_case "arena: stale after free" `Quick
+      test_arena_stale_after_free;
+    Alcotest.test_case "arena: stale after reuse" `Quick
+      test_arena_stale_after_reuse;
+    Alcotest.test_case "arena: growth and ordered iteration" `Quick
+      test_arena_growth_and_iter;
+    QCheck_alcotest.to_alcotest pfa_equiv;
+    QCheck_alcotest.to_alcotest wheel_heap_equiv;
+    Alcotest.test_case "wheel: far-future overflow" `Quick
+      test_wheel_far_future;
+    Alcotest.test_case "wheel: 5k ties keep FIFO" `Quick test_wheel_many_ties;
+    Alcotest.test_case "nat: port wrap + Closed recycle" `Quick
+      test_nat_port_wrap_and_recycle;
+    Alcotest.test_case "nat: cursor wraps the range" `Quick
+      test_nat_port_wraps_cursor;
+  ]
