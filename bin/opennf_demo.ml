@@ -15,6 +15,10 @@ open Opennf_net
 open Opennf
 open Cmdliner
 
+(* Demo scenarios are fault-free; a typed operation error here is a
+   wiring bug, so unwrap loudly. *)
+let ok = function Ok v -> v | Error e -> raise (Op_error.Op_failed e)
+
 let verdict ?(keys = []) fab nfs =
   let lost = Audit.lost fab.Fabric.audit ~nfs in
   let dups = Audit.duplicated fab.Fabric.audit in
@@ -73,9 +77,10 @@ let run_move flows rate guarantee parallel early_release compress =
   Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
       Proc.spawn fab.engine (fun () ->
           let report =
-            Move.run_exn fab.ctrl
-              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any ~guarantee
-                 ~parallel ~early_release ~compress ())
+            ok
+              (Move.run fab.ctrl
+                 (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any ~guarantee
+                    ~parallel ~early_release ~compress ()))
           in
           Format.printf "%a@." Move.pp_report report));
   Fabric.run fab;
@@ -138,9 +143,10 @@ let run_trace flows rate seed out timeline =
   Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
       Proc.spawn fab.engine (fun () ->
           let report =
-            Move.run_exn fab.ctrl
-              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
-                 ~guarantee:Move.Loss_free ~parallel:true ())
+            ok
+              (Move.run fab.ctrl
+                 (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+                    ~guarantee:Move.Loss_free ~parallel:true ()))
           in
           Format.printf "%a@." Move.pp_report report));
   Fabric.run fab;
@@ -244,12 +250,14 @@ let run_scale_out () =
       Controller.set_route fab.ctrl Filter.any nf1;
       Proc.sleep 0.9;
       ignore
-        (Copy_op.run_exn fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
-           ~scope:[ Opennf_state.Scope.Multi ] ());
+        (ok
+           (Copy_op.run fab.ctrl ~src:nf1 ~dst:nf2 ~filter:Filter.any
+              ~scope:[ Opennf_state.Scope.Multi ] ()));
       ignore
-        (Move.run_exn fab.ctrl
-           (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
-              ~guarantee:Move.Loss_free ~parallel:true ())));
+        (ok
+           (Move.run fab.ctrl
+              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+                 ~guarantee:Move.Loss_free ~parallel:true ()))));
   Fabric.run fab;
   let scans ids =
     List.filter

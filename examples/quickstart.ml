@@ -36,9 +36,13 @@ let () =
   Fabric.Engine.schedule_at fab.engine 1.0 (fun () ->
       Proc.spawn fab.engine (fun () ->
           let report =
-            Move.run_exn fab.ctrl
-              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
-                 ~guarantee:Move.Loss_free ~parallel:true ())
+            match
+              Move.run fab.ctrl
+                (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+                   ~guarantee:Move.Loss_free ~parallel:true ())
+            with
+            | Ok r -> r
+            | Error e -> raise (Op_error.Op_failed e)
           in
           Format.printf "%a@." Move.pp_report report));
   Fabric.run fab;

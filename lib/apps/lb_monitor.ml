@@ -17,11 +17,16 @@ type t = {
 
 let prefix_filter prefix = Filter.of_src_prefix prefix
 
+(* Copies and moves here run in fault-free scenarios; a typed error is
+   a wiring bug, surfaced loudly. *)
 let copy_exn t ~src ~dst ~filter ~scope =
-  match t.sched with
-  | None -> Copy_op.run_exn t.ctrl ~src ~dst ~filter ~scope ()
-  | Some s ->
-    Op_error.ok_exn (Proc.Ivar.read (Copy_op.submit s ~src ~dst ~filter ~scope ()))
+  let result =
+    match t.sched with
+    | None -> Copy_op.run t.ctrl ~src ~dst ~filter ~scope ()
+    | Some s ->
+      Proc.Ivar.read (Copy_op.submit s ~src ~dst ~filter ~scope ())
+  in
+  match result with Ok r -> r | Error e -> raise (Op_error.Op_failed e)
 
 let create ctrl ?sched ~instances ?(sync_period = 60.0) () =
   let t =
@@ -98,9 +103,12 @@ let move_prefix t prefix ~to_ =
         ~guarantee:Move.Loss_free ~parallel:true ()
     in
     let report =
-      match t.sched with
-      | None -> Move.run_exn t.ctrl spec
-      | Some s -> Op_error.ok_exn (Proc.Ivar.read (Move.submit s spec))
+      let result =
+        match t.sched with
+        | None -> Move.run t.ctrl spec
+        | Some s -> Proc.Ivar.read (Move.submit s spec)
+      in
+      match result with Ok r -> r | Error e -> raise (Op_error.Op_failed e)
     in
     let target_known = List.exists (fun (nf, _) -> same_nf nf to_) t.assignment in
     t.assignment <-

@@ -58,6 +58,7 @@ type nf = {
   nf_name : string;
   to_nf : Protocol.request Channel.t;
   runtime : Runtime.t;
+  backend : Backend.t option;
   mutable misses : int;  (** Consecutive missed call deadlines. *)
   mutable live : bool;
 }
@@ -246,8 +247,11 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
   Proc.spawn engine (cpu_loop t);
   t
 
-let attach t runtime =
+let attach ?backend t runtime =
   let name = Runtime.name runtime in
+  let backend =
+    match backend with Some _ -> backend | None -> Runtime.backend runtime
+  in
   let to_nf =
     Channel.create t.engine ~latency:t.config.nf_latency ?faults:t.faults
       ~name:("ctrl->" ^ name) ()
@@ -260,7 +264,9 @@ let attach t runtime =
   Channel.set_handler_with_size from_nf (fun reply size ->
       Proc.Mailbox.send t.inbox (From_nf reply, size));
   Runtime.set_controller runtime from_nf;
-  let nf = { nf_name = name; to_nf; runtime; misses = 0; live = true } in
+  let nf =
+    { nf_name = name; to_nf; runtime; backend; misses = 0; live = true }
+  in
   Hashtbl.replace t.nfs name nf;
   (match t.config.sb_batch_bytes with
   | None -> ()
@@ -271,6 +277,23 @@ let attach t runtime =
 
 let nf_name nf = nf.nf_name
 let find_nf t name = Hashtbl.find_opt t.nfs name
+let backend_of nf = nf.backend
+
+(* Resolve how state labelled [scope] actually gets from [src] to [dst]:
+   the classic bulk transfer, nothing at all (both instances read the
+   same backend), or a drain of the replication stream already carrying
+   it. The no-backend answer is [`Transfer] by construction, so fabrics
+   that never attach a backend take exactly the legacy path. *)
+let state_path _t ~src ~dst ~scope =
+  match (src.backend, dst.backend) with
+  | Some sb, Some db when Backend.same_store sb db && Backend.covers sb scope
+    ->
+    `Same_store
+  | Some sb, Some db
+    when Backend.replica_pair ~primary:sb ~standby:db
+         && Backend.covers sb scope ->
+    `Replicated sb
+  | _ -> `Transfer
 
 (* --- liveness monitor ---------------------------------------------------- *)
 
@@ -478,7 +501,8 @@ let start_probes t ~until =
 
 (* --- legacy per-scope wrappers (thin aliases) ----------------------------- *)
 
-let ok_exn = Op_error.ok_exn
+(* Inlined rather than [Op_error.ok_exn], which is deprecated. *)
+let ok_exn = function Ok v -> v | Error e -> raise (Op_error.Op_failed e)
 
 let get_perflow t nf filter ?on_piece ?(late_lock = false) ?(compress = false)
     () =

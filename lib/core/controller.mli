@@ -79,13 +79,29 @@ val obs : t -> Opennf_obs.Hub.t
 val audit : t -> Audit.t
 val resilience : t -> resilience option
 
-val attach : t -> Opennf_sb.Runtime.t -> nf
+val attach : ?backend:Backend.t -> t -> Opennf_sb.Runtime.t -> nf
 (** Wire an NF into the controller. The NF must (separately) be attached
-    to a switch port bearing its runtime name. *)
+    to a switch port bearing its runtime name. [backend] (default: the
+    runtime's own backend, if it was created over one) registers where
+    this instance's state lives, which lets operations take the
+    {!state_path} fast paths. *)
 
 val nf_name : nf -> string
 val find_nf : t -> string -> nf option
 val messages_handled : t -> int
+
+val backend_of : nf -> Backend.t option
+(** The state backend registered at {!attach} time, if any. *)
+
+val state_path :
+  t -> src:nf -> dst:nf -> scope:Scope.t ->
+  [ `Transfer | `Same_store | `Replicated of Backend.t ]
+(** How [scope]-labelled state actually gets from [src] to [dst]:
+    [`Transfer] is the classic bulk get/del/put; [`Same_store] means
+    both instances read the same (shared) backend and there is nothing
+    to move; [`Replicated b] means the replication stream of [b]
+    already carries it and a {!Backend.drain} suffices. Instances
+    without backends always resolve to [`Transfer]. *)
 
 (** {1 Liveness} *)
 

@@ -59,7 +59,9 @@ let run t ~src ~dst ~filter ?(scope = [ Scope.Multi ]) ?options
     }
 
 let run_exn t ~src ~dst ~filter ?scope ?options ?parallel () =
-  Op_error.ok_exn (run t ~src ~dst ~filter ?scope ?options ?parallel ())
+  match run t ~src ~dst ~filter ?scope ?options ?parallel () with
+  | Ok r -> r
+  | Error e -> raise (Op_error.Op_failed e)
 
 let start t ~src ~dst ~filter ?scope ?options ?parallel () =
   Op_engine.background t (fun () ->

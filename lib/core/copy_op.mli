@@ -50,6 +50,7 @@ val run_exn :
   ?parallel:bool ->
   unit ->
   report
+  [@@deprecated "use Copy_op.run and match on the result"]
 
 val start :
   Controller.t ->
@@ -72,6 +73,7 @@ val start_exn :
   ?parallel:bool ->
   unit ->
   report Proc.Ivar.t
+  [@@deprecated "use Copy_op.start and match on the ivar's result"]
 (** Like [start] but unwrapped; a typed error raises inside the spawned
     process, so use only where faults are impossible. *)
 

@@ -28,9 +28,10 @@ let create ?(seed = 1) ?obs ?config ?flow_mod_delay ?packet_out_rate
   let sched = Sched.create ?max_concurrent:max_concurrent_ops ctrl in
   { engine; audit; switch; ctrl; sched; faults; link_latency }
 
-let add_nf t ~name ~impl ~costs =
+let add_nf ?backend t ~name ~impl ~costs =
   let runtime =
-    Runtime.create t.engine t.audit ~name ~impl ~costs ~faults:t.faults ()
+    Runtime.create t.engine t.audit ~name ~impl ~costs ~faults:t.faults
+      ?backend ()
   in
   let port =
     Channel.create t.engine ~latency:t.link_latency ~faults:t.faults

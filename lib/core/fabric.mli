@@ -47,13 +47,17 @@ val create :
     flow table and the audit ledger all record through it. *)
 
 val add_nf :
+  ?backend:Opennf_state.Backend.t ->
   t ->
   name:string ->
   impl:Opennf_sb.Nf_api.impl ->
   costs:Opennf_sb.Costs.t ->
   Controller.nf * Opennf_sb.Runtime.t
 (** Creates the NF runtime, connects it to a switch port named [name]
-    and to the controller. *)
+    and to the controller. [backend] declares where this instance's
+    state lives (see {!Opennf_state.Backend}): it is wired into the
+    runtime's packet path and registered with the controller, enabling
+    the shared-store and replicated fast paths of {!Controller.state_path}. *)
 
 val inject : t -> Packet.t -> unit
 (** Deliver a packet to the switch now. *)

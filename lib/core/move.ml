@@ -484,7 +484,8 @@ let run ?notify_release t spec =
       }
   | Error err -> rollback t spec ctx rs ~src_sub ~frame err
 
-let run_exn t spec = Op_error.ok_exn (run t spec)
+let run_exn t spec =
+  match run t spec with Ok r -> r | Error e -> raise (Op_error.Op_failed e)
 let start t spec = Op_engine.background t (fun () -> run t spec)
 
 (* Raises inside the spawned process on a typed error; meant for

@@ -120,12 +120,15 @@ val run :
     it. *)
 
 val run_exn : Controller.t -> spec -> report
-(** [run] unwrapped via {!Op_error.ok_exn}; for fault-free scenarios. *)
+  [@@deprecated "use Move.run and match on the result"]
+(** [run] unwrapped ([Op_error.Op_failed] on error); for fault-free
+    scenarios. Kept for external users; internal code uses {!run}. *)
 
 val start : Controller.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
 (** Spawn the move and return an ivar filled with its result. *)
 
 val start_exn : Controller.t -> spec -> report Proc.Ivar.t
+  [@@deprecated "use Move.start and match on the ivar's result"]
 (** Like [start] but unwrapped; a typed error raises inside the spawned
     process, so use only where faults are impossible. *)
 

@@ -36,7 +36,9 @@ let enable ?sched t nf filter callback =
       act
 
 let enable_exn ?sched t nf filter callback =
-  Op_error.ok_exn (enable ?sched t nf filter callback)
+  match enable ?sched t nf filter callback with
+  | Ok h -> h
+  | Error e -> raise (Op_error.Op_failed e)
 
 let disable t handle =
   Controller.disable_events t handle.nf handle.filter;

@@ -22,5 +22,6 @@ val enable :
 val enable_exn :
   ?sched:Sched.t ->
   Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
+  [@@deprecated "use Notify.enable and match on the result"]
 
 val disable : Controller.t -> handle -> unit

@@ -173,7 +173,37 @@ let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
     phase ph;
     Option.iter (fun f -> f ()) hook
   in
+  (* Backend fast paths: when src and dst resolve to the same (shared)
+     store, or to the two ends of a replication stream that already
+     carries this scope, there is no state to capture, delete or
+     install — the "move" is a metadata flip. The progress hooks still
+     fire (in order) so protocol drivers like [Move] see the usual
+     lifecycle; [record] stays empty, so a rollback re-puts nothing;
+     the tally accounts zero chunks and zero bytes, honestly. Without
+     backends [state_path] answers [`Transfer] and the legacy code runs
+     unchanged, event for event. *)
+  let path = Controller.state_path t ~src ~dst ~scope in
   let result =
+    match path with
+    | `Same_store ->
+      phase "same-store";
+      Option.iter (fun r -> r := []) record;
+      fire "captured" on_captured;
+      if delete then fire "deleted" on_deleted;
+      fire "installed" on_installed;
+      Ok []
+    | `Replicated b ->
+      (* Wait until the standby applied everything the primary sent, so
+         traffic rerouted to it cannot observe state from before the
+         last processed packet. *)
+      phase "replicated";
+      Backend.drain b;
+      Option.iter (fun r -> r := []) record;
+      fire "captured" on_captured;
+      if delete then fire "deleted" on_deleted;
+      fire "installed" on_installed;
+      Ok []
+    | `Transfer -> (
     match (scope : Scope.t) with
     | Scope.All ->
       (* All-flows state never streams, is never deleted (there is no
@@ -245,7 +275,7 @@ let transfer frame ~src ~dst ~scope ~filter ?(parallel = false)
               f flowid)
             chunks);
         Ok chunks
-      end
+      end)
   in
   match result with
   | Error e ->

@@ -28,4 +28,6 @@ val kind : t -> string
     metrics names and trace attributes; never allocates. *)
 
 val ok_exn : ('a, t) result -> 'a
-(** [Ok v -> v]; [Error e -> raise (Op_failed e)]. *)
+  [@@deprecated "match on the result instead"]
+(** [Ok v -> v]; [Error e -> raise (Op_failed e)]. Kept for external
+    users of the [*_exn] era; internal code matches on results. *)

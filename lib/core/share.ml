@@ -214,9 +214,12 @@ let start ctrl ?sched ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of
 
 let start_exn ctrl ?sched ~instances ~filter ?scope ?group_of ?route
     ~consistency () =
-  Op_error.ok_exn
-    (start ctrl ?sched ~instances ~filter ?scope ?group_of ?route ~consistency
-       ())
+  match
+    start ctrl ?sched ~instances ~filter ?scope ?group_of ?route ~consistency
+      ()
+  with
+  | Ok t -> t
+  | Error e -> raise (Op_error.Op_failed e)
 
 let stats (t : t) : stats =
   {

@@ -74,6 +74,7 @@ val start_exn :
   consistency:consistency ->
   unit ->
   t
+  [@@deprecated "use Share.start and match on the result"]
 
 val stats : t -> stats
 

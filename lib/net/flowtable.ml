@@ -104,7 +104,12 @@ let cache_slots len =
 let cache_initial = 256
 let cache_max = 1 lsl 17
 
-let create ?(obs = Opennf_obs.Hub.disabled) () =
+let create ?engine ?(obs = Opennf_obs.Hub.disabled) () =
+  let obs =
+    match engine with
+    | Some e -> Opennf_sim.Engine.obs e
+    | None -> obs
+  in
   let metrics = Opennf_obs.Hub.metrics obs in
   {
     by_cookie = Hashtbl.create 64;

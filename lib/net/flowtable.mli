@@ -14,9 +14,16 @@ type rule = {
 
 type t
 
-val create : ?obs:Opennf_obs.Hub.t -> unit -> t
-(** [obs] (default disabled) records ["ft.lookups"],
-    ["ft.cache_hits"] and ["ft.cache_misses"] counters. *)
+val create :
+  ?engine:Opennf_sim.Engine.t -> ?obs:Opennf_obs.Hub.t -> unit -> t
+(** A table created with [~engine] records ["ft.lookups"],
+    ["ft.cache_hits"] and ["ft.cache_misses"] counters on the engine's
+    observability hub, so its metrics land next to every other
+    engine-sourced series. Without either argument metrics are disabled.
+
+    [?obs] is deprecated: it predates engines carrying their own hub and
+    exists only for external callers that wired one by hand. It is
+    ignored when [~engine] is given. *)
 
 val install :
   t -> cookie:int -> priority:int -> filters:Filter.t list ->

@@ -40,7 +40,7 @@ let create engine audit ~name ?(flow_mod_delay = 0.010)
     name;
     flow_mod_delay;
     packet_out_rate;
-    table = Flowtable.create ~obs:(Engine.obs engine) ();
+    table = Flowtable.create ~engine ();
     ports = Hashtbl.create 8;
     to_controller = None;
     mods_applied_by = 0.0;

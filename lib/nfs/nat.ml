@@ -37,24 +37,41 @@ type t = {
      are treated as free. *)
   ports : Arena.handle array;
   mutable next_port : int; (* scan cursor within [port_base, port_limit] *)
+  (* True after a full scan found every slot backing a live, unclosed
+     flow. Nothing can become claimable until a slot is released or some
+     entry reaches Closed, so allocation fails O(1) until then — under
+     SYN floods past capacity the allocator would otherwise rescan the
+     whole range per dropped packet. *)
+  mutable full : bool;
   mutable invalid : int;
   mutable exhausted : int;
 }
 
-let create ?(nat_ip = Ipaddr.v 192 0 2 1) ?(port_base = 20000)
+(* One witness per NF module: instances constructed over the same
+   backend registry share the whole state record (conntrack table, port
+   slots, allocation cursor) — the FlexState externalization. *)
+let state_id : t Type.Id.t = Type.Id.make ()
+
+let create ?backend ?(nat_ip = Ipaddr.v 192 0 2 1) ?(port_base = 20000)
     ?(port_limit = 65535) () =
   if port_base < 1 || port_limit > 65535 || port_base > port_limit then
     invalid_arg "Nat.create: need 1 <= port_base <= port_limit <= 65535";
-  {
-    nat_ip;
-    table = Pfa.create ~payload:payload_bytes ();
-    port_base;
-    port_limit;
-    ports = Array.make (port_limit - port_base + 1) Arena.null;
-    next_port = port_base;
-    invalid = 0;
-    exhausted = 0;
-  }
+  let make () =
+    {
+      nat_ip;
+      table = Pfa.create ~payload:payload_bytes ();
+      port_base;
+      port_limit;
+      ports = Array.make (port_limit - port_base + 1) Arena.null;
+      next_port = port_base;
+      full = false;
+      invalid = 0;
+      exhausted = 0;
+    }
+  in
+  match backend with
+  | None -> make ()
+  | Some b -> Backend.get_store b ~name:"nat" ~id:state_id ~make
 
 let arena t = Pfa.arena t.table
 
@@ -63,7 +80,10 @@ let arena t = Pfa.arena t.table
 let release_port t h port =
   if port >= t.port_base && port <= t.port_limit then begin
     let i = port - t.port_base in
-    if t.ports.(i) = h then t.ports.(i) <- Arena.null
+    if t.ports.(i) = h then begin
+      t.ports.(i) <- Arena.null;
+      t.full <- false
+    end
   end
 
 let remove_entry t h =
@@ -77,36 +97,47 @@ let remove_entry t h =
    recycle their ports. Returns -1 when every port backs a live,
    unclosed flow. *)
 let alloc_port t =
-  let range = t.port_limit - t.port_base + 1 in
-  let a = arena t in
-  let result = ref (-1) in
-  let tries = ref 0 in
-  while !result = -1 && !tries < range do
-    let port = t.next_port in
-    t.next_port <- (if port = t.port_limit then t.port_base else port + 1);
-    incr tries;
-    let i = port - t.port_base in
-    let h = t.ports.(i) in
-    if h = Arena.null || not (Arena.is_live a h) then begin
-      t.ports.(i) <- Arena.null;
-      result := port
-    end
-    else if Arena.get_u8 a h off_state = state_to_code Closed then begin
-      remove_entry t h;
-      result := port
-    end
-  done;
-  !result
+  if t.full then -1
+  else begin
+    let range = t.port_limit - t.port_base + 1 in
+    let a = arena t in
+    let result = ref (-1) in
+    let tries = ref 0 in
+    while !result = -1 && !tries < range do
+      let port = t.next_port in
+      t.next_port <- (if port = t.port_limit then t.port_base else port + 1);
+      incr tries;
+      let i = port - t.port_base in
+      let h = t.ports.(i) in
+      if h = Arena.null || not (Arena.is_live a h) then begin
+        t.ports.(i) <- Arena.null;
+        result := port
+      end
+      else if Arena.get_u8 a h off_state = state_to_code Closed then begin
+        remove_entry t h;
+        result := port
+      end
+    done;
+    (* A failed scan wraps the cursor back to its start and frees
+       nothing, so remembering the exhaustion is observationally free. *)
+    if !result = -1 then t.full <- true;
+    !result
+  end
 
 let advance_state t h (p : Packet.t) =
   let a = arena t in
   Arena.set_int a h off_pkts (Arena.get_int a h off_pkts + 1);
-  if Packet.has_flag p Rst then Arena.set_u8 a h off_state 3
+  let close () =
+    Arena.set_u8 a h off_state 3;
+    (* This entry's port is now reclaimable. *)
+    t.full <- false
+  in
+  if Packet.has_flag p Rst then close ()
   else
     match state_of_code (Arena.get_u8 a h off_state) with
     | New -> if Packet.has_flag p Ack then Arena.set_u8 a h off_state 1
     | Established -> if Packet.has_flag p Fin then Arena.set_u8 a h off_state 2
-    | Fin_wait -> if Packet.has_flag p Ack then Arena.set_u8 a h off_state 3
+    | Fin_wait -> if Packet.has_flag p Ack then close ()
     | Closed -> ()
 
 let process_packet t (p : Packet.t) =
@@ -180,6 +211,7 @@ let import_chunk t chunk =
   Arena.set_u8 a h off_state state;
   Arena.set_u16 a h off_tport tport;
   Arena.set_int a h off_pkts pkts;
+  if state = state_to_code Closed then t.full <- false;
   claim_port t h tport
 
 (* --- southbound implementation ------------------------------------------ *)

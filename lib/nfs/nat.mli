@@ -13,12 +13,19 @@ type tcp_state = New | Established | Fin_wait | Closed
 type t
 
 val create :
+  ?backend:Opennf_state.Backend.t ->
   ?nat_ip:Ipaddr.t -> ?port_base:int -> ?port_limit:int -> unit -> t
 (** Translation ports are drawn from [\[port_base, port_limit\]]
     (defaults 20000–65535) and recycled: allocation wraps within the
     range and reclaims ports whose flows have reached [Closed]. When
     every port backs a live unclosed flow, new flows are dropped (and
-    counted) rather than handed an out-of-range port. *)
+    counted) rather than handed an out-of-range port.
+
+    With [backend], the whole conntrack state lives in the backend's
+    store registry (under the name ["nat"]) instead of the instance:
+    every instance created over the same shared backend sees one table
+    (and the first creator's configuration), so moving flows between
+    them is a pure forwarding-state operation. *)
 
 val impl : t -> Opennf_sb.Nf_api.impl
 

@@ -32,13 +32,20 @@ type t = {
   mutable now : float;  (* Advanced by packet timestamps. *)
 }
 
-let create () =
-  {
-    conns = Pfa.create ~payload:payload_bytes ();
-    assets = Store.Per_host.create ();
-    globals = { g_pkts = 0; g_bytes = 0; g_flows = 0 };
-    now = 0.0;
-  }
+let state_id : t Type.Id.t = Type.Id.make ()
+
+let create ?backend () =
+  let make () =
+    {
+      conns = Pfa.create ~payload:payload_bytes ();
+      assets = Store.Per_host.create ();
+      globals = { g_pkts = 0; g_bytes = 0; g_flows = 0 };
+      now = 0.0;
+    }
+  in
+  match backend with
+  | None -> make ()
+  | Some b -> Backend.get_store b ~name:"prads" ~id:state_id ~make
 
 let service_of_port = function
   | 80 -> "http"

@@ -13,7 +13,12 @@ open Opennf_net
 
 type t
 
-val create : unit -> t
+val create : ?backend:Opennf_state.Backend.t -> unit -> t
+(** With [backend], the monitor's entire state (connections, assets,
+    globals) is obtained from the backend's store registry (name
+    ["prads"]): instances over the same shared backend observe one
+    asset database, so reallocating flows between them moves nothing. *)
+
 val impl : t -> Opennf_sb.Nf_api.impl
 
 (** {1 Inspection} *)

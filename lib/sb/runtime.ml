@@ -19,6 +19,7 @@ type t = {
   impl : Nf_api.impl;
   costs : Costs.t;
   faults : Opennf_sim.Faults.t option;
+  backend : Backend.t option;
   (* Packet path: two queues consumed by one worker; [release_q] (packets
      freed from event buffers) has priority so released packets are
      processed before later direct arrivals. *)
@@ -55,6 +56,7 @@ type t = {
 let name t = t.name
 let impl t = t.impl
 let costs t = t.costs
+let backend t = t.backend
 
 let alive t =
   match t.faults with
@@ -141,7 +143,11 @@ let process t (p : Packet.t) =
   if alive t then begin
     t.impl.Nf_api.process_packet p;
     t.processed <- t.processed + 1;
-    Audit.log_process t.audit p ~nf:t.name
+    Audit.log_process t.audit p ~nf:t.name;
+    (* Delta replication rides the packet's own service time: marking
+       and flushing schedule nothing on the NF, only (for a replicated
+       primary) a send on the delta channel. *)
+    Option.iter (fun b -> Backend.note_packet b p.Packet.key) t.backend
   end;
   t.in_service <- None;
   Proc.Ivar.fill done_ivar ()
@@ -372,7 +378,7 @@ let control t (req : Protocol.request) =
 
 let set_controller t chan = t.to_ctrl <- Some chan
 
-let create engine audit ~name ~impl ~costs ?faults () =
+let create engine audit ~name ~impl ~costs ?faults ?backend () =
   let obs = Engine.obs engine in
   let metrics = Opennf_obs.Hub.metrics obs in
   let t =
@@ -383,6 +389,7 @@ let create engine audit ~name ~impl ~costs ?faults () =
       impl;
       costs;
       faults;
+      backend;
       input_q = Queue.create ();
       release_q = Queue.create ();
       worker_wakeup = None;
@@ -405,6 +412,25 @@ let create engine audit ~name ~impl ~costs ?faults () =
       m_batch_items = Opennf_obs.Metrics.counter metrics "sb.batch.items";
     }
   in
+  (* Both ends of a replicated pair wire both directions; the backend's
+     role decides which one is exercised. Export reuses the NF's own
+     southbound serializers, so delta frames carry exactly the chunks a
+     get would — byte-comparable with bulk transfer. *)
+  Option.iter
+    (fun b ->
+      Backend.set_exporter b (fun scope flowid ->
+          match (scope : Scope.t) with
+          | Scope.Per -> impl.Nf_api.export_perflow flowid
+          | Scope.Multi -> impl.Nf_api.export_multiflow flowid
+          | Scope.All -> None);
+      Backend.set_applier b (fun scope flowid chunk ->
+          match ((scope : Scope.t), chunk) with
+          | Scope.Per, Some c -> impl.Nf_api.import_perflow flowid c
+          | Scope.Per, None -> impl.Nf_api.delete_perflow flowid
+          | Scope.Multi, Some c -> impl.Nf_api.import_multiflow flowid c
+          | Scope.Multi, None -> impl.Nf_api.delete_multiflow flowid
+          | Scope.All, _ -> ()))
+    backend;
   Proc.spawn engine (worker_loop t);
   Proc.spawn engine (fun () ->
       let rec loop () =

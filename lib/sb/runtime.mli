@@ -26,12 +26,21 @@ val create :
   impl:Nf_api.impl ->
   costs:Costs.t ->
   ?faults:Opennf_sim.Faults.t ->
+  ?backend:Opennf_state.Backend.t ->
   unit ->
   t
 (** Starts the worker processes immediately. With [faults], the runtime
     consults the fault plan: once its node is crashed (or while hung) it
     stops processing packets, ignores southbound requests and sends no
-    replies. *)
+    replies.
+
+    With [backend], the runtime wires the NF's export/import functions
+    as the backend's delta exporter/applier and marks the packet's keys
+    dirty after every processed packet ({!Opennf_state.Backend.note_packet}),
+    which is what keeps a replicated backend's standby fresh. [Local]
+    and [Shared] backends make all of that a no-op. *)
+
+val backend : t -> Opennf_state.Backend.t option
 
 val name : t -> string
 val impl : t -> Nf_api.impl

@@ -1,0 +1,320 @@
+module Engine = Opennf_sim.Engine
+module Proc = Opennf_sim.Proc
+open Opennf_net
+
+type kind = Local | Shared | Replicated
+type role = Sole | Primary | Standby | Promoted
+
+type stats = {
+  frames_sent : int;
+  entries_sent : int;
+  delta_bytes : int;
+  frames_applied : int;
+  entries_applied : int;
+  dup_frames : int;
+  gap_frames : int;
+  stale_frames : int;
+}
+
+let zero_stats =
+  {
+    frames_sent = 0;
+    entries_sent = 0;
+    delta_bytes = 0;
+    frames_applied = 0;
+    entries_applied = 0;
+    dup_frames = 0;
+    gap_frames = 0;
+    stale_frames = 0;
+  }
+
+type entry = {
+  e_scope : Scope.t;
+  e_flowid : Filter.t;
+  e_chunk : Chunk.t option;  (* None propagates a deletion. *)
+}
+
+type frame_msg = { seq : int; sent_at : float; entries : entry list }
+
+(* Wire-size model of a frame: matches the southbound protocol's framing
+   costs so delta traffic and get/put traffic are comparable byte for
+   byte (a flowid plus message framing, then the chunk payload). *)
+let frame_overhead = 16
+let entry_overhead = 32
+let entry_size e =
+  entry_overhead + match e.e_chunk with None -> 0 | Some c -> Chunk.size c
+
+type binding = B : 'a Type.Id.t * 'a -> binding
+
+type link = {
+  engine : Engine.t;
+  chan : frame_msg Channel.t;
+  batch_bytes : int option;
+  mutable sent_seq : int;
+  mutable applied_seq : int;
+  mutable st : stats;
+  mutable waiters : (int * unit Proc.Ivar.t) list;  (* seq awaited *)
+  m_bytes : Opennf_obs.Metrics.counter;
+  m_frames : Opennf_obs.Metrics.counter;
+  m_entries : Opennf_obs.Metrics.counter;
+  m_dup : Opennf_obs.Metrics.counter;
+  m_lag : Opennf_obs.Metrics.hist;
+}
+
+type t = {
+  kind : kind;
+  name : string;
+  stores : (string, binding) Hashtbl.t;
+  link : link option;
+  mutable role : role;
+  mutable peer : t option;
+  mutable exporter : (Scope.t -> Filter.t -> Chunk.t option) option;
+  mutable applier : (Scope.t -> Filter.t -> Chunk.t option -> unit) option;
+  (* Dirty keys pending export, in first-marked order; the tables give
+     O(1) coalescing of re-marked keys. *)
+  dirty_per : unit Filter.Table.t;
+  dirty_multi : unit Filter.Table.t;
+  dirty_q : (Scope.t * Filter.t) Queue.t;
+  (* Keys the standby has been sent, so a later disappearance at the
+     primary is propagated as a delete (and never-sent keys are not). *)
+  sent_per : unit Filter.Table.t;
+  sent_multi : unit Filter.Table.t;
+}
+
+let kind t = t.kind
+let role t = t.role
+let name t = t.name
+
+let mk ?(name = "backend") kind role link =
+  {
+    kind;
+    name;
+    stores = Hashtbl.create 8;
+    link;
+    role;
+    peer = None;
+    exporter = None;
+    applier = None;
+    dirty_per = Filter.Table.create 16;
+    dirty_multi = Filter.Table.create 16;
+    dirty_q = Queue.create ();
+    sent_per = Filter.Table.create 64;
+    sent_multi = Filter.Table.create 64;
+  }
+
+let local ?name () = mk ?name Local Sole None
+let shared ?name () = mk ?name Shared Sole None
+
+(* --- standby side --------------------------------------------------------- *)
+
+let release_waiters l upto =
+  let ready, waiting = List.partition (fun (seq, _) -> seq <= upto) l.waiters in
+  l.waiters <- waiting;
+  List.iter (fun (_, iv) -> Proc.Ivar.fill iv ()) ready
+
+let apply_frame t (fr : frame_msg) =
+  match t.link with
+  | None -> ()
+  | Some l ->
+    if t.role = Promoted then l.st <- { l.st with stale_frames = l.st.stale_frames + 1 }
+    else if fr.seq <= l.applied_seq then begin
+      (* Channel duplication (or a replayed frame): already applied. *)
+      l.st <- { l.st with dup_frames = l.st.dup_frames + 1 };
+      Opennf_obs.Metrics.incr l.m_dup
+    end
+    else begin
+      if fr.seq > l.applied_seq + 1 then
+        l.st <- { l.st with gap_frames = l.st.gap_frames + 1 };
+      (match t.applier with
+      | None -> ()
+      | Some apply ->
+        List.iter (fun e -> apply e.e_scope e.e_flowid e.e_chunk) fr.entries);
+      l.applied_seq <- fr.seq;
+      l.st <-
+        {
+          l.st with
+          frames_applied = l.st.frames_applied + 1;
+          entries_applied = l.st.entries_applied + List.length fr.entries;
+        };
+      Opennf_obs.Metrics.observe l.m_lag (Engine.now l.engine -. fr.sent_at);
+      release_waiters l l.applied_seq
+    end
+
+let replicated_pair engine ?name ?(latency = 0.002) ?bandwidth ?batch_bytes
+    ?faults () =
+  let base = Option.value name ~default:"backend" in
+  let chan =
+    Channel.create engine ~latency ?bandwidth ?faults
+      ~name:(base ^ ".delta") ()
+  in
+  let metrics = Opennf_obs.Hub.metrics (Engine.obs engine) in
+  let link =
+    {
+      engine;
+      chan;
+      batch_bytes;
+      sent_seq = 0;
+      applied_seq = 0;
+      st = zero_stats;
+      waiters = [];
+      m_bytes = Opennf_obs.Metrics.counter metrics "backend.delta.bytes";
+      m_frames = Opennf_obs.Metrics.counter metrics "backend.delta.frames";
+      m_entries = Opennf_obs.Metrics.counter metrics "backend.delta.entries";
+      m_dup = Opennf_obs.Metrics.counter metrics "backend.delta.dup_frames";
+      m_lag = Opennf_obs.Metrics.hist metrics "backend.delta.lag_s";
+    }
+  in
+  let primary = mk ?name Replicated Primary (Some link) in
+  let standby = mk ?name Replicated Standby (Some link) in
+  primary.peer <- Some standby;
+  standby.peer <- Some primary;
+  Channel.set_handler chan (apply_frame standby);
+  (primary, standby)
+
+(* --- store registry ------------------------------------------------------- *)
+
+let get_store (type a) t ~name ~(id : a Type.Id.t) ~make : a =
+  match Hashtbl.find_opt t.stores name with
+  | Some (B (id', v)) -> (
+    match Type.Id.provably_equal id' id with
+    | Some Type.Equal -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Backend.get_store: %S registered with another type"
+           name))
+  | None ->
+    let v = make () in
+    Hashtbl.replace t.stores name (B (id, v));
+    v
+
+(* --- primary side --------------------------------------------------------- *)
+
+let set_exporter t f = t.exporter <- Some f
+let set_applier t f = t.applier <- Some f
+
+let note t scope flowid =
+  if t.role = Primary then begin
+    let tbl =
+      match (scope : Scope.t) with
+      | Scope.Per -> Some t.dirty_per
+      | Scope.Multi -> Some t.dirty_multi
+      | Scope.All -> None  (* aggregate state does not stream *)
+    in
+    match tbl with
+    | None -> ()
+    | Some tbl ->
+      if not (Filter.Table.mem tbl flowid) then begin
+        Filter.Table.replace tbl flowid ();
+        Queue.push (scope, flowid) t.dirty_q
+      end
+  end
+
+let sent_tbl t = function
+  | Scope.Per -> t.sent_per
+  | Scope.Multi -> t.sent_multi
+  | Scope.All -> assert false
+
+let send_frame l entries_rev =
+  match entries_rev with
+  | [] -> ()
+  | _ ->
+    let entries = List.rev entries_rev in
+    l.sent_seq <- l.sent_seq + 1;
+    let size =
+      List.fold_left (fun acc e -> acc + entry_size e) frame_overhead entries
+    in
+    l.st <-
+      {
+        l.st with
+        frames_sent = l.st.frames_sent + 1;
+        entries_sent = l.st.entries_sent + List.length entries;
+        delta_bytes = l.st.delta_bytes + size;
+      };
+    Opennf_obs.Metrics.incr l.m_frames;
+    Opennf_obs.Metrics.add l.m_entries (List.length entries);
+    Opennf_obs.Metrics.add l.m_bytes size;
+    Channel.send l.chan ~size
+      { seq = l.sent_seq; sent_at = Engine.now l.engine; entries }
+
+let flush t =
+  match (t.role, t.link, t.exporter) with
+  | Primary, Some l, Some export ->
+    let pending = ref [] in
+    let pending_bytes = ref frame_overhead in
+    let emit e =
+      let sz = entry_size e in
+      (match l.batch_bytes with
+      | Some budget when !pending <> [] && !pending_bytes + sz > budget ->
+        send_frame l !pending;
+        pending := [];
+        pending_bytes := frame_overhead
+      | _ -> ());
+      pending := e :: !pending;
+      pending_bytes := !pending_bytes + sz
+    in
+    while not (Queue.is_empty t.dirty_q) do
+      let scope, flowid = Queue.pop t.dirty_q in
+      let tbl =
+        match scope with Scope.Per -> t.dirty_per | _ -> t.dirty_multi
+      in
+      if Filter.Table.mem tbl flowid then begin
+        Filter.Table.remove tbl flowid;
+        let sent = sent_tbl t scope in
+        match export scope flowid with
+        | Some chunk ->
+          Filter.Table.replace sent flowid ();
+          emit { e_scope = scope; e_flowid = flowid; e_chunk = Some chunk }
+        | None ->
+          (* Only propagate a delete for keys the standby has seen. *)
+          if Filter.Table.mem sent flowid then begin
+            Filter.Table.remove sent flowid;
+            emit { e_scope = scope; e_flowid = flowid; e_chunk = None }
+          end
+      end
+    done;
+    send_frame l !pending
+  | _ -> ()
+
+let note_packet t (key : Flow.key) =
+  if t.role = Primary then begin
+    note t Scope.Per (Filter.of_key key);
+    note t Scope.Multi (Filter.of_src_host key.Flow.src_ip);
+    note t Scope.Multi (Filter.of_src_host key.Flow.dst_ip);
+    flush t
+  end
+
+let drain t =
+  match (t.role, t.link) with
+  | Primary, Some l ->
+    flush t;
+    if l.applied_seq < l.sent_seq then begin
+      let iv = Proc.Ivar.create l.engine in
+      l.waiters <- (l.sent_seq, iv) :: l.waiters;
+      Proc.Ivar.read iv
+    end
+  | _ -> ()
+
+let promote t =
+  match t.link with
+  | Some l when t.role = Standby ->
+    t.role <- Promoted;
+    release_waiters l max_int
+  | _ -> ()
+
+(* --- routing predicates --------------------------------------------------- *)
+
+let same_store a b = a == b && a.kind <> Replicated
+
+let replica_pair ~primary ~standby =
+  primary.role = Primary && standby.role = Standby
+  && match primary.peer with Some p -> p == standby | None -> false
+
+let covers t scope =
+  match t.kind with
+  | Local | Shared -> true
+  | Replicated -> ( match (scope : Scope.t) with
+    | Scope.Per | Scope.Multi -> true
+    | Scope.All -> false)
+
+let stats t = match t.link with None -> zero_stats | Some l -> l.st
+let delta_bytes t = (stats t).delta_bytes

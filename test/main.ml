@@ -23,5 +23,6 @@ let () =
       ("properties", Test_props.suite);
       ("sched", Test_sched.suite);
       ("faults", Test_faults.suite);
+      ("backend", Test_backend.suite);
       ("obs", Test_obs.suite);
     ]
