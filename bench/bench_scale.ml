@@ -257,6 +257,28 @@ let bench_pool ~preload =
     p_deterministic = serial = pooled;
   }
 
+(* --- sharded control plane ------------------------------------------------ *)
+
+type shard_row = {
+  sh_run : H.shard_run;
+  sh_wall : float; (* Wall seconds for the whole sharded simulation. *)
+}
+
+(* Virtual-time scaling of the control plane itself: the same
+   controller-bound disjoint-move workload at growing shard counts, in
+   one engine. Wall time is reported alongside because all shards share
+   that engine — this parallelism is of the modeled control plane, not
+   of the host. *)
+let bench_shards () =
+  List.map
+    (fun shards ->
+      Gc.compact ();
+      let sh_wall, sh_run =
+        wall (fun () -> H.run_shard_workload ~ops:8 ~flows:300 ~shards ())
+      in
+      { sh_run; sh_wall })
+    (H.shard_counts ())
+
 (* --- driver -------------------------------------------------------------- *)
 
 let json_row n g r c =
@@ -336,11 +358,51 @@ let run () =
       pool.p_tasks (1000.0 *. pool.p_serial)
       (1000.0 *. pool.p_pool)
       (if pool.p_deterministic then "identical" else "DIVERGED");
+  H.section "Sharded control plane: virtual makespan vs shard count";
+  let shard_rows = bench_shards () in
+  let serial_span =
+    match shard_rows with
+    | first :: _ when first.sh_run.H.s_shards = 1 -> first.sh_run.H.s_makespan
+    | _ -> 0.0
+  in
+  let shard_speedup row =
+    if serial_span > 0.0 then serial_span /. row.sh_run.H.s_makespan else 1.0
+  in
+  let digests_ok =
+    match shard_rows with
+    | first :: rest ->
+      List.for_all (fun r -> r.sh_run.H.s_digest = first.sh_run.H.s_digest) rest
+    | [] -> true
+  in
+  H.table
+    ~header:[ "shards"; "virtual makespan (ms)"; "speedup"; "wall (ms)" ]
+    (List.map
+       (fun row ->
+         [
+           string_of_int row.sh_run.H.s_shards;
+           H.ms row.sh_run.H.s_makespan;
+           Printf.sprintf "%.2fx" (shard_speedup row);
+           H.ms row.sh_wall;
+         ])
+       shard_rows);
+  H.note "shard digests across counts: %s"
+    (if digests_ok then "identical" else "DIVERGED");
   let oc = open_out "BENCH_scale.json" in
   output_string oc "{\n  \"bench\": \"scale\",\n  \"rows\": [\n";
   output_string oc
     (String.concat ",\n" (List.map (fun (n, g, r, c) -> json_row n g r c) rows));
   output_string oc "\n  ],\n";
+  Printf.fprintf oc "  \"shards\": [\n%s\n  ],\n"
+    (String.concat ",\n"
+       (List.map
+          (fun row ->
+            Printf.sprintf
+              "    {\"shards\": %d, \"makespan_virtual_s\": %.6f, \
+               \"speedup_vs_serial\": %.2f, \"wall_ms\": %.1f, \
+               \"digest_identical\": %b}"
+              row.sh_run.H.s_shards row.sh_run.H.s_makespan (shard_speedup row)
+              (1000.0 *. row.sh_wall) digests_ok)
+          shard_rows));
   Printf.fprintf oc
     "  \"schedulers\": {\"heap_events\": %d, \"wheel_events\": %d, \"virtual_end\": %.6f, \"identical\": %b},\n"
     heap.sc_events wheel.sc_events wheel.sc_virtual_end sched_ok;

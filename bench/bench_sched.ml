@@ -162,6 +162,57 @@ let json_row s o =
     (match s.batch with None -> "null" | Some b -> string_of_int b)
     ops flows o.makespan o.avg_op o.messages o.peak_active o.peak_waiting
 
+(* --- shard scaling ------------------------------------------------------- *)
+
+(* Controller-CPU-bound: 8 disjoint moves of 200 flows each is ~29 ms of
+   serialized controller CPU per move, so the serial fabric's makespan is
+   dominated by the one inbox worker and sharding it shows up directly. *)
+let sweep_ops = 8
+let sweep_flows = 200
+
+let shard_sweep () =
+  let runs =
+    List.map
+      (fun shards ->
+        H.run_shard_workload ~ops:sweep_ops ~flows:sweep_flows ~shards ())
+      (H.shard_counts ())
+  in
+  let serial =
+    match runs with
+    | first :: _ when first.H.s_shards = 1 -> Some first
+    | _ -> None
+  in
+  let speedup r =
+    match serial with
+    | Some s -> s.H.s_makespan /. r.H.s_makespan
+    | None -> 1.0
+  in
+  H.table
+    ~header:
+      [ "shards"; "makespan (ms)"; "speedup"; "cross-shard ops"; "ctrl msgs" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.H.s_shards; H.ms r.H.s_makespan;
+           Printf.sprintf "%.2fx" (speedup r); string_of_int r.H.s_cross;
+           string_of_int r.H.s_messages;
+         ])
+       runs);
+  (match serial with
+  | Some s
+    when List.exists (fun r -> r.H.s_digest <> s.H.s_digest) runs ->
+    H.note "shard sweep: semantic DIVERGENCE between shard counts"
+  | _ -> H.note "shard sweep: identical semantic digests at every count");
+  (runs, speedup)
+
+let json_shard_row speedup r =
+  Printf.sprintf
+    "    {\"shards\": %d, \"ops\": %d, \"flows_per_op\": %d, \
+     \"makespan_virtual_s\": %.6f, \"speedup_vs_serial\": %.2f, \
+     \"cross_shard_ops\": %d, \"ctrl_messages\": %d}"
+    r.H.s_shards sweep_ops sweep_flows r.H.s_makespan (speedup r) r.H.s_cross
+    r.H.s_messages
+
 let run () =
   H.section
     "Scheduler: mixed moves+copies makespan vs concurrency cap (dummy NFs)";
@@ -189,9 +240,17 @@ let run () =
      (operations overlap in virtual time); overlapping operations \
      serialize to the cap=1 shape; piece batching cuts controller \
      messages for the same transfers.";
+  H.section "Sharded control plane: disjoint-move makespan vs shard count";
+  (* Separate fabrics without the shared hub: a sharded fabric interns
+     shard-suffixed metric names, which would pollute the aggregated
+     snapshot the reconciliation below checks. *)
+  let shard_runs, speedup = shard_sweep () in
   let oc = open_out "BENCH_sched.json" in
   output_string oc "{\n  \"bench\": \"sched\",\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.map (fun (s, o) -> json_row s o) rows));
+  output_string oc "\n  ],\n  \"shard_sweep\": [\n";
+  output_string oc
+    (String.concat ",\n" (List.map (json_shard_row speedup) shard_runs));
   output_string oc "\n  ]\n}\n";
   close_out oc;
   H.note "wrote BENCH_sched.json";
@@ -213,4 +272,30 @@ let run () =
      else " -- MISMATCH");
   H.write_metrics ~bench:"sched" obs
 
-let () = H.register ~id:"sched" ~descr:"op scheduler + sb batching" run
+(* Standalone gate for @bench-check: the same disjoint workload on 1, 2
+   and 4 shards must produce identical semantic digests (reports + final
+   stores), and a repeated sharded run must reproduce its virtual
+   makespan exactly (the sharded control plane stays deterministic). *)
+let run_shardcheck () =
+  H.section "Shard equivalence (sharded vs serial control plane)";
+  let ops = 6 and flows = 40 in
+  let run shards = H.run_shard_workload ~ops ~flows ~shards () in
+  let serial = run 1 in
+  let sharded = List.map run [ 2; 4 ] in
+  List.iter
+    (fun r ->
+      H.note "shards=%d: makespan %s ms, cross-shard ops %d, digest %s"
+        r.H.s_shards (H.ms r.H.s_makespan) r.H.s_cross
+        (if r.H.s_digest = serial.H.s_digest then "identical" else "DIVERGED"))
+    (serial :: sharded);
+  if List.exists (fun r -> r.H.s_digest <> serial.H.s_digest) sharded then
+    failwith "shard check: sharded run diverged from the serial control plane";
+  let again = run 4 in
+  if again <> List.nth sharded 1 then
+    failwith "shard check: repeated 4-shard run was not deterministic"
+
+let () =
+  H.register ~id:"sched" ~descr:"op scheduler + sb batching" run;
+  H.register ~id:"shardcheck"
+    ~descr:"sharded vs serial control plane: semantic-digest equivalence gate"
+    run_shardcheck

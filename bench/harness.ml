@@ -99,6 +99,99 @@ let affected_latency audit =
     ids;
   stats
 
+(* --- sharded control plane ----------------------------------------------- *)
+
+(* The shard counts a bench sweeps. OPENNF_SHARDS pins the whole sweep
+   to one count (the same variable Fabric.create reads as its default),
+   so `OPENNF_SHARDS=2 ./main.exe sched` measures exactly that
+   configuration. *)
+let shard_counts ?(default = [ 1; 2; 4 ]) () =
+  match Sys.getenv_opt "OPENNF_SHARDS" with
+  | None -> default
+  | Some s -> [ int_of_string (String.trim s) ]
+
+type shard_run = {
+  s_shards : int;
+  s_makespan : float;  (* Virtual s, submission to completion of last. *)
+  s_cross : int;  (* Operations admitted via the cross-shard handshake. *)
+  s_messages : int;  (* Inbound controller messages, summed over shards. *)
+  s_digest : int64;  (* Semantic outcome digest (reports + final stores). *)
+}
+
+(* The shard-scaling workload: [ops] disjoint loss-free moves between
+   dummy pairs, pair [i] homed on shard [i mod shards]. Controller CPU
+   dominates (3 inbound messages per flow), so the virtual makespan
+   measures how well the control plane parallelizes; the digest proves
+   the sharded run computed the same thing as the serial one. *)
+let run_shard_workload ?(seed = 42) ~ops ~flows ~shards () =
+  let subnet i = Ipaddr.Prefix.make (Ipaddr.v 10 (160 + i) 0 0) 16 in
+  let servers = Ipaddr.Prefix.make (Ipaddr.v 172 31 0 0) 16 in
+  let filter i = Filter.make ~src:(subnet i) ~dst:servers () in
+  let keys i n =
+    let base = Ipaddr.to_int (Ipaddr.v 10 (160 + i) 0 0) in
+    List.init n (fun k ->
+        Flow.make
+          ~src:(Ipaddr.of_int (base + (k mod 250) + 1))
+          ~dst:(Ipaddr.v 172 31 0 1) ~proto:Flow.Tcp ~sport:(20000 + k)
+          ~dport:443 ())
+  in
+  let fab = Fabric.create ~seed ~shards () in
+  let pairs =
+    List.init ops (fun i ->
+        let d1 = Opennf_nfs.Dummy.create () in
+        let d2 = Opennf_nfs.Dummy.create () in
+        Opennf_nfs.Dummy.seed_flows d1 (keys i flows);
+        let home = i mod shards in
+        let nf1, _ =
+          Fabric.add_nf fab ~shard:home
+            ~name:(Printf.sprintf "src%d" i)
+            ~impl:(Opennf_nfs.Dummy.impl d1) ~costs:Costs.dummy
+        in
+        let nf2, _ =
+          Fabric.add_nf fab ~shard:home
+            ~name:(Printf.sprintf "dst%d" i)
+            ~impl:(Opennf_nfs.Dummy.impl d2) ~costs:Costs.dummy
+        in
+        (i, nf1, nf2, d1, d2))
+  in
+  Proc.spawn fab.engine (fun () ->
+      List.iter
+        (fun (i, nf1, _, _, _) -> Controller.set_route fab.ctrl (filter i) nf1)
+        pairs);
+  let finished = ref 0.0 in
+  let digest = ref (Opennf_util.Hashing.fnv1a64 "shards") in
+  let fold i = digest := Opennf_util.Hashing.combine !digest (Int64.of_int i) in
+  run_at fab ~at:1.0 (fun () ->
+      let ivars =
+        List.map
+          (fun (i, nf1, nf2, _, _) ->
+            Move.submit_sharded fab.Fabric.group
+              (Move.spec ~src:nf1 ~dst:nf2 ~filter:(filter i)
+                 ~guarantee:Move.Loss_free ~parallel:true ()))
+          pairs
+      in
+      List.iter
+        (fun ivar ->
+          match Proc.Ivar.read ivar with
+          | Ok r ->
+            fold r.Move.per_chunks;
+            fold r.Move.state_bytes
+          | Error e -> failwith (Format.asprintf "%a" Op_error.pp e))
+        ivars;
+      finished := Engine.now fab.Fabric.engine);
+  List.iter
+    (fun (_, _, _, d1, d2) ->
+      fold (Opennf_nfs.Dummy.flow_count d1);
+      fold (Opennf_nfs.Dummy.imported_count d2))
+    pairs;
+  {
+    s_shards = shards;
+    s_makespan = !finished -. 1.0;
+    s_cross = Opennf.Shard.cross_shard_ops fab.Fabric.group;
+    s_messages = Opennf.Shard.messages_handled fab.Fabric.group;
+    s_digest = !digest;
+  }
+
 (* --- metrics snapshots --------------------------------------------------- *)
 
 (* Metrics snapshot written next to the BENCH_*.json files. A separate

@@ -118,19 +118,21 @@ let move_cmd =
 (* Run a seeded loss-free move with the span tracer on, export the
    Chrome trace and print the metrics snapshot. The exported JSON is
    virtual-time only, so two runs with the same arguments are
-   byte-identical — the @trace-check alias diffs exactly that. *)
-let run_trace flows rate seed out timeline =
+   byte-identical — the @trace-check alias diffs exactly that, for the
+   serial control plane and for a 2-shard one (where the move crosses
+   shards and the spans carry shard attributes). *)
+let run_trace flows rate seed out timeline shards =
   let obs = Opennf_obs.Hub.create ~trace:true () in
-  let fab = Fabric.create ~seed ~obs () in
+  let fab = Fabric.create ~seed ~obs ~shards () in
   let prads1 = Opennf_nfs.Prads.create () in
   let prads2 = Opennf_nfs.Prads.create () in
   let nf1, _ =
-    Fabric.add_nf fab ~name:"prads1" ~impl:(Opennf_nfs.Prads.impl prads1)
-      ~costs:Costs.prads
+    Fabric.add_nf fab ~shard:0 ~name:"prads1"
+      ~impl:(Opennf_nfs.Prads.impl prads1) ~costs:Costs.prads
   in
   let nf2, _ =
-    Fabric.add_nf fab ~name:"prads2" ~impl:(Opennf_nfs.Prads.impl prads2)
-      ~costs:Costs.prads
+    Fabric.add_nf fab ~shard:(shards - 1) ~name:"prads2"
+      ~impl:(Opennf_nfs.Prads.impl prads2) ~costs:Costs.prads
   in
   let gen = Opennf_trace.Gen.create () in
   let handshakes = 2.0 *. float_of_int flows /. rate in
@@ -142,11 +144,17 @@ let run_trace flows rate seed out timeline =
   Proc.spawn fab.engine (fun () -> Controller.set_route fab.ctrl Filter.any nf1);
   Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
       Proc.spawn fab.engine (fun () ->
+          let spec =
+            Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+              ~guarantee:Move.Loss_free ~parallel:true ()
+          in
+          (* The serial path stays exactly the pre-shard one (direct run,
+             no scheduler spans); sharded traces go through the
+             cross-shard handshake. *)
           let report =
-            ok
-              (Move.run fab.ctrl
-                 (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
-                    ~guarantee:Move.Loss_free ~parallel:true ()))
+            if shards <= 1 then ok (Move.run fab.ctrl spec)
+            else
+              ok (Proc.Ivar.read (Move.submit_sharded fab.Fabric.group spec))
           in
           Format.printf "%a@." Move.pp_report report));
   Fabric.run fab;
@@ -170,10 +178,17 @@ let trace_cmd =
       value & flag
       & info [ "timeline" ] ~doc:"Also print the human-readable timeline.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:"Controller shards (the move crosses shards when > 1).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a traced move and export a Chrome trace + metrics")
-    Term.(const run_trace $ flows_arg $ rate_arg $ seed $ out $ timeline)
+    Term.(
+      const run_trace $ flows_arg $ rate_arg $ seed $ out $ timeline $ shards)
 
 (* --- baseline command ----------------------------------------------------- *)
 

@@ -54,15 +54,6 @@ let call_budget r =
   in
   (float_of_int (r.max_retries + 1) *. r.call_timeout) +. backoffs 0 0.0
 
-type nf = {
-  nf_name : string;
-  to_nf : Protocol.request Channel.t;
-  runtime : Runtime.t;
-  backend : Backend.t option;
-  mutable misses : int;  (** Consecutive missed call deadlines. *)
-  mutable live : bool;
-}
-
 type pending =
   | Get of {
       mutable chunks : (Filter.t * Chunk.t) list;  (* Reverse order. *)
@@ -82,20 +73,39 @@ type pkt_in_sub = {
   ps_callback : Packet.t -> unit;
 }
 
-type subscription = int
-
 (* Inbound messages funneled through the serial controller CPU. *)
 type inbound =
   | From_nf of Protocol.reply
   | From_switch of Switch.from_switch
 
-type t = {
+(* An NF record carries its [home] shard: the controller instance whose
+   channels, request-id namespace and pending table serve this NF. All
+   NF-directed calls route through [nf.home], so an operation led by one
+   shard transparently reaches instances owned by another (the cross-
+   shard handshake in {!Shard} only has to arbitrate admission, not
+   plumbing). With one shard, [home] is physically the only controller
+   and every path below is byte-identical to the unsharded code. *)
+type nf = {
+  nf_name : string;
+  to_nf : Protocol.request Channel.t;
+  runtime : Runtime.t;
+  backend : Backend.t option;
+  home : t;
+  mutable misses : int;  (** Consecutive missed call deadlines. *)
+  mutable live : bool;
+}
+
+and t = {
   engine : Engine.t;
   audit : Audit.t;
   switch : Switch.t;
   config : config;
   resilience : resilience option;
   faults : Faults.t option;
+  shard : int;  (** This instance's shard id, 0 .. shards-1. *)
+  shards : int;  (** Shard count of the control plane this belongs to. *)
+  mutable peers : t array;
+      (** The full shard group, set by {!set_group}; [[||]] = just us. *)
   to_switch : Switch.to_switch Channel.t;
   inbox : (inbound * int) Proc.Mailbox.t;  (* message, wire size *)
   nfs : (string, nf) Hashtbl.t;
@@ -116,7 +126,16 @@ type t = {
   m_request_bytes : Opennf_obs.Metrics.counter;
   m_retries : Opennf_obs.Metrics.counter;
   m_dup_pieces : Opennf_obs.Metrics.counter;
+  m_handled : Opennf_obs.Metrics.counter option;
+      (** Per-shard inbound-message counter; only registered when
+          [shards > 1] so single-shard metric snapshots are unchanged. *)
 }
+
+(* A subscription names the shard(s) actually holding the entry: event
+   subscriptions live on the NF's home shard, packet-in subscriptions on
+   every shard (packet-ins are routed to shards by flow hash, and a
+   wildcard subscription must see all of them). *)
+type subscription = (t * int) list
 
 let base_priority = 100
 let move_final_priority = 150
@@ -128,6 +147,20 @@ let obs t = Engine.obs t.engine
 let audit t = t.audit
 let messages_handled t = t.handled
 let resilience t = t.resilience
+let shard_id t = t.shard
+let shard_count t = t.shards
+
+let metric_suffix t =
+  if t.shards <= 1 then "" else Printf.sprintf ".shard%d" t.shard
+
+(* The shard group. Before {!set_group} (and always at [shards = 1]) a
+   controller is its own whole group. *)
+let group t = if Array.length t.peers = 0 then [| t |] else t.peers
+
+let set_group peers =
+  if Array.length peers = 0 then invalid_arg "Controller.set_group: empty";
+  Array.iter (fun p -> p.peers <- peers) peers
+
 
 (* Subscriptions live in hashtables so unsubscribe is O(1); dispatch
    still visits them in subscription (id) order for determinism. *)
@@ -194,18 +227,32 @@ let cpu_loop t () =
     Proc.sleep
       (t.config.msg_cost +. (t.config.msg_cost_per_byte *. float_of_int size));
     t.handled <- t.handled + 1;
+    (match t.m_handled with
+    | Some c -> Opennf_obs.Metrics.incr c
+    | None -> ());
     dispatch t msg;
     loop ()
   in
   loop ()
 
 let create engine audit ~switch ?(config = default_config) ?faults ?resilience
-    () =
+    ?(shard = 0) ?(shards = 1) () =
+  if shards < 1 then invalid_arg "Controller.create: shards must be >= 1";
+  if shard < 0 || shard >= shards then
+    invalid_arg "Controller.create: shard out of range";
+  (* At [shards = 1] every name below (channels, metrics) is exactly the
+     single-controller name, so seeded runs stay byte-identical. *)
+  let sw_out_name =
+    if shards <= 1 then "ctrl->sw" else Printf.sprintf "ctrl%d->sw" shard
+  in
+  let sw_in_name =
+    if shards <= 1 then "sw->ctrl" else Printf.sprintf "sw->ctrl%d" shard
+  in
+  let msuf = if shards <= 1 then "" else Printf.sprintf ".shard%d" shard in
   let to_switch =
     Channel.create engine ~latency:config.sw_latency
-      ?bandwidth:config.sw_bandwidth ?faults ~name:"ctrl->sw" ()
+      ?bandwidth:config.sw_bandwidth ?faults ~name:sw_out_name ()
   in
-  Channel.set_handler to_switch (Switch.control switch);
   let hub = Engine.obs engine in
   let metrics = Opennf_obs.Hub.metrics hub in
   let t =
@@ -216,6 +263,9 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       config;
       resilience;
       faults;
+      shard;
+      shards;
+      peers = [||];
       to_switch;
       inbox = Proc.Mailbox.create engine;
       nfs = Hashtbl.create 16;
@@ -232,18 +282,27 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       next_sub = 0;
       handled = 0;
       trace = Opennf_obs.Hub.trace hub;
-      m_requests = Opennf_obs.Metrics.counter metrics "sb.requests";
-      m_request_bytes = Opennf_obs.Metrics.counter metrics "sb.request_bytes";
-      m_retries = Opennf_obs.Metrics.counter metrics "ctrl.retries";
-      m_dup_pieces = Opennf_obs.Metrics.counter metrics "ctrl.dup_pieces";
+      m_requests = Opennf_obs.Metrics.counter metrics ("sb.requests" ^ msuf);
+      m_request_bytes =
+        Opennf_obs.Metrics.counter metrics ("sb.request_bytes" ^ msuf);
+      m_retries = Opennf_obs.Metrics.counter metrics ("ctrl.retries" ^ msuf);
+      m_dup_pieces =
+        Opennf_obs.Metrics.counter metrics ("ctrl.dup_pieces" ^ msuf);
+      m_handled =
+        (if shards <= 1 then None
+         else Some (Opennf_obs.Metrics.counter metrics ("ctrl.handled" ^ msuf)));
     }
   in
   let from_switch =
-    Channel.create engine ~latency:config.sw_latency ?faults ~name:"sw->ctrl" ()
+    Channel.create engine ~latency:config.sw_latency ?faults ~name:sw_in_name ()
   in
   Channel.set_handler_with_size from_switch (fun msg size ->
       Proc.Mailbox.send t.inbox (From_switch msg, size));
-  Switch.set_controller switch from_switch;
+  (* Our connection id: barrier replies come back on it, and our
+     flow-mods are fenced per connection (OpenFlow barrier semantics),
+     so shard barriers never wait on another shard's installs. *)
+  let conn = Switch.register_controller switch from_switch in
+  Channel.set_handler to_switch (Switch.control_from switch ~conn);
   Proc.spawn engine (cpu_loop t);
   t
 
@@ -264,8 +323,9 @@ let attach ?backend t runtime =
   Channel.set_handler_with_size from_nf (fun reply size ->
       Proc.Mailbox.send t.inbox (From_nf reply, size));
   Runtime.set_controller runtime from_nf;
+  Runtime.bind_shard runtime t.shard;
   let nf =
-    { nf_name = name; to_nf; runtime; backend; misses = 0; live = true }
+    { nf_name = name; to_nf; runtime; backend; home = t; misses = 0; live = true }
   in
   Hashtbl.replace t.nfs name nf;
   (match t.config.sb_batch_bytes with
@@ -276,7 +336,39 @@ let attach ?backend t runtime =
   nf
 
 let nf_name nf = nf.nf_name
-let find_nf t name = Hashtbl.find_opt t.nfs name
+let nf_home nf = nf.home
+let nf_shard nf = nf.home.shard
+
+let find_nf t name =
+  match Hashtbl.find_opt t.nfs name with
+  | Some _ as r -> r
+  | None ->
+    let peers = group t in
+    let rec scan i =
+      if i >= Array.length peers then None
+      else if peers.(i) == t then scan (i + 1)
+      else
+        match Hashtbl.find_opt peers.(i).nfs name with
+        | Some _ as r -> r
+        | None -> scan (i + 1)
+    in
+    scan 0
+
+(* The shard whose tables serve [name]: its home if attached anywhere,
+   else the asking shard (subscriptions to not-yet-attached names stay
+   local, as before). *)
+let home_of_name t name =
+  if Hashtbl.mem t.nfs name then t
+  else begin
+    let peers = group t in
+    let rec scan i =
+      if i >= Array.length peers then t
+      else if Hashtbl.mem peers.(i).nfs name then peers.(i)
+      else scan (i + 1)
+    in
+    scan 0
+  end
+
 let backend_of nf = nf.backend
 
 (* Resolve how state labelled [scope] actually gets from [src] to [dst]:
@@ -298,9 +390,15 @@ let state_path _t ~src ~dst ~scope =
 (* --- liveness monitor ---------------------------------------------------- *)
 
 let nf_alive _t nf = nf.live
-let on_nf_death t f = t.on_death <- f :: t.on_death
 
-let declare_nf_dead t nf =
+(* Death callbacks register on every shard: a watcher (failover app,
+   operation rollback) holds whichever controller it was built on, but
+   the NF that dies fires its *home* shard's list. *)
+let on_nf_death t f =
+  Array.iter (fun p -> p.on_death <- f :: p.on_death) (group t)
+
+let declare_nf_dead _t nf =
+  let t = nf.home in
   if nf.live then begin
     nf.live <- false;
     (* Callbacks may run blocking operations (reroutes); give each its
@@ -314,7 +412,10 @@ let note_deadline_miss t nf r =
   nf.misses <- nf.misses + 1;
   if nf.misses >= r.liveness_misses then declare_nf_dead t nf
 
-let send_request t nf req =
+let send_request _t nf req =
+  (* Route through the NF's home shard: its trace/metrics handles are
+     the ones labelled with the owning shard. *)
+  let t = nf.home in
   let size = Protocol.request_size req in
   Opennf_obs.Metrics.incr t.m_requests;
   Opennf_obs.Metrics.add t.m_request_bytes size;
@@ -403,8 +504,9 @@ let start_call t nf ~req ~request ~pending_entry ~result =
   | Some r ->
     supervise t nf ~req ~result ~resend:(fun () -> send_request t nf request) r
 
-let get_async t nf ~scope ?on_piece ?(late_lock = false) ?(compress = false)
+let get_async _t nf ~scope ?on_piece ?(late_lock = false) ?(compress = false)
     filter =
+  let t = nf.home in
   if not nf.live then
     dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
   else begin
@@ -424,7 +526,8 @@ let get_async t nf ~scope ?on_piece ?(late_lock = false) ?(compress = false)
     result
   end
 
-let put_async t nf ~scope chunks =
+let put_async _t nf ~scope chunks =
+  let t = nf.home in
   if not nf.live then
     dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
   else begin
@@ -440,7 +543,8 @@ let put_async t nf ~scope chunks =
     result
   end
 
-let del_async t nf ~scope flowids =
+let del_async _t nf ~scope flowids =
+  let t = nf.home in
   match (scope : Scope.t) with
   | Scope.All ->
     (* All-flows state is always relevant; there is no delAllflows (§4.2). *)
@@ -467,7 +571,8 @@ let get t nf ~scope ?on_piece ?late_lock ?compress filter =
 let put t nf ~scope chunks = Proc.Ivar.read (put_async t nf ~scope chunks)
 let del t nf ~scope flowids = Proc.Ivar.read (del_async t nf ~scope flowids)
 
-let probe_async t nf =
+let probe_async _t nf =
+  let t = nf.home in
   if not nf.live then
     dead_result t (Op_error.Nf_crashed { nf = nf.nf_name })
   else begin
@@ -478,26 +583,37 @@ let probe_async t nf =
     result
   end
 
+let start_probes_local t r ~until =
+  Proc.spawn t.engine (fun () ->
+      let rec loop () =
+        Proc.sleep r.probe_period;
+        if Engine.now t.engine <= until then begin
+          (* Probe in name order for determinism; supervision marks
+             misses and flips liveness. *)
+          Hashtbl.fold (fun name _ acc -> name :: acc) t.nfs []
+          |> List.sort String.compare
+          |> List.iter (fun name ->
+                 let nf = Hashtbl.find t.nfs name in
+                 if nf.live then ignore (probe_async t nf));
+          loop ()
+        end
+      in
+      loop ())
+
+(* The liveness monitor is per-shard by design: each shard probes only
+   the NFs it owns (one heartbeat process per shard, over its own
+   channels), so arming it from any member covers the whole group. *)
 let start_probes t ~until =
   match t.resilience with
   | None ->
     invalid_arg "Controller.start_probes: no resilience config installed"
-  | Some r ->
-    Proc.spawn t.engine (fun () ->
-        let rec loop () =
-          Proc.sleep r.probe_period;
-          if Engine.now t.engine <= until then begin
-            (* Probe in name order for determinism; supervision marks
-               misses and flips liveness. *)
-            Hashtbl.fold (fun name _ acc -> name :: acc) t.nfs []
-            |> List.sort String.compare
-            |> List.iter (fun name ->
-                   let nf = Hashtbl.find t.nfs name in
-                   if nf.live then ignore (probe_async t nf));
-            loop ()
-          end
-        in
-        loop ())
+  | Some _ ->
+    Array.iter
+      (fun p ->
+        match p.resilience with
+        | Some r -> start_probes_local p r ~until
+        | None -> ())
+      (group t)
 
 (* --- legacy per-scope wrappers (thin aliases) ----------------------------- *)
 
@@ -532,29 +648,47 @@ let fresh_sub t =
   t.next_sub <- t.next_sub + 1;
   s
 
+(* Events from an NF arrive at its home shard's inbox, so the entry must
+   live in the home shard's table — wherever the subscriber got its
+   controller handle. *)
 let subscribe_events t ~nf filter callback =
-  let id = fresh_sub t in
-  Hashtbl.replace t.event_subs id
+  let h = home_of_name t nf in
+  let id = fresh_sub h in
+  Hashtbl.replace h.event_subs id
     { es_nf = nf; es_filter = filter; es_callback = callback };
-  id
+  [ (h, id) ]
 
+(* Packet-ins are routed to shards by flow hash, and a subscription
+   filter may span many shards' flowspace — register on every shard.
+   Each shard burns one sub id, in the same group order on every run,
+   so dispatch order stays deterministic. *)
 let subscribe_packet_in t filter callback =
-  let id = fresh_sub t in
-  Hashtbl.replace t.pkt_in_subs id
-    { ps_filter = filter; ps_callback = callback };
-  id
+  Array.to_list (group t)
+  |> List.map (fun p ->
+         let id = fresh_sub p in
+         Hashtbl.replace p.pkt_in_subs id
+           { ps_filter = filter; ps_callback = callback };
+         (p, id))
 
 (* Sub ids are unique across both tables, so removing from both is safe. *)
-let unsubscribe t id =
-  Hashtbl.remove t.event_subs id;
-  Hashtbl.remove t.pkt_in_subs id
+let unsubscribe _t subs =
+  List.iter
+    (fun (p, id) ->
+      Hashtbl.remove p.event_subs id;
+      Hashtbl.remove p.pkt_in_subs id)
+    subs
 
 (* --- forwarding state ----------------------------------------------------- *)
 
+(* Cookies are strided by shard ([c * shards + shard]) so concurrent
+   shards can never mint the same cookie and silently replace each
+   other's rules in the shared table — and [cookie mod shards] names the
+   owning shard, which is what {!Switch.slice_rule_counts} counts. With
+   one shard this is the identity on the legacy sequence 1, 2, 3, … *)
 let fresh_cookie t =
   let c = t.next_cookie in
   t.next_cookie <- t.next_cookie + 1;
-  c
+  if t.shards <= 1 then c else (c * t.shards) + t.shard
 
 let install_rule t ~cookie ~priority ~filters ~actions =
   Channel.send t.to_switch ~size:128

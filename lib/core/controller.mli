@@ -66,11 +66,44 @@ type nf
 
 val create :
   Opennf_sim.Engine.t -> Audit.t -> switch:Switch.t -> ?config:config ->
-  ?faults:Opennf_sim.Faults.t -> ?resilience:resilience -> unit -> t
+  ?faults:Opennf_sim.Faults.t -> ?resilience:resilience ->
+  ?shard:int -> ?shards:int -> unit -> t
 (** [faults] is consulted by every control channel the controller
-    creates (switch and NF links), keyed by channel name. *)
+    creates (switch and NF links), keyed by channel name.
+
+    [shard]/[shards] (defaults 0/1) place this instance in a sharded
+    control plane (see {!Shard}): the instance registers its own switch
+    connection (per-connection barriers), stripes its rule cookies by
+    shard id, and labels its channels and metrics with the shard. With
+    the defaults every name and every virtual-time event is identical
+    to the single-controller controller. *)
 
 val engine : t -> Opennf_sim.Engine.t
+
+val shard_id : t -> int
+(** This instance's shard id (0 in a single-controller fabric). *)
+
+val shard_count : t -> int
+(** Shard count of the control plane this instance belongs to. *)
+
+val metric_suffix : t -> string
+(** [".shard<k>"] when [shard_count > 1], [""] otherwise — appended to
+    metric names by the controller and by per-shard components
+    ({!Sched}) so single-shard metric namespaces are unchanged. *)
+
+val set_group : t array -> unit
+(** Introduce the members of a shard group to each other (index =
+    shard id). Cross-shard routing ({!find_nf}, subscription placement,
+    {!on_nf_death}, {!start_probes}) spans the group afterwards.
+    Called by {!Fabric.create}; idempotent. *)
+
+val nf_home : nf -> t
+(** The controller shard that owns this NF: its channels, request-id
+    namespace and pending tables serve every call to the NF, whichever
+    shard's handle the caller holds. *)
+
+val nf_shard : nf -> int
+(** [shard_id (nf_home nf)]. *)
 
 val obs : t -> Opennf_obs.Hub.t
 (** The engine's observability hub (southbound taps, op spans and the

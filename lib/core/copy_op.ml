@@ -84,3 +84,11 @@ let submit sched ~src ~dst ~filter ?scope ?options ?parallel () =
     ~footprint:(footprint ~src ~dst ~filter)
     (fun () ->
       run (Sched.ctrl sched) ~src ~dst ~filter ?scope ?options ?parallel ())
+
+let submit_sharded group ~src ~dst ~filter ?scope ?options ?parallel () =
+  Shard.submit group
+    ~footprint:(footprint ~src ~dst ~filter)
+    ~nfs:[ src; dst ]
+    (fun () ->
+      run (Controller.nf_home src) ~src ~dst ~filter ?scope ?options ?parallel
+        ())

@@ -97,3 +97,15 @@ val submit :
     operation is ahead of it. Two copies out of the same source may
     overlap (reads don't conflict); a copy conflicts with any move
     touching the same instances and flows. *)
+
+val submit_sharded :
+  Shard.t ->
+  src:Controller.nf ->
+  dst:Controller.nf ->
+  filter:Filter.t ->
+  ?scope:Scope.t list ->
+  ?options:Op_options.t ->
+  ?parallel:bool ->
+  unit ->
+  (report, Op_error.t) result Proc.Ivar.t
+(** {!submit} routed through a shard group (see {!Move.submit_sharded}). *)

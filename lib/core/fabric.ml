@@ -10,25 +10,73 @@ type t = {
   switch : Switch.t;
   ctrl : Controller.t;
   sched : Sched.t;
+  group : Shard.t;
   faults : Faults.t;
   link_latency : float;
 }
 
+let shards_from_env () =
+  match Sys.getenv_opt "OPENNF_SHARDS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> invalid_arg ("bad OPENNF_SHARDS: " ^ s))
+
 let create ?(seed = 1) ?obs ?config ?flow_mod_delay ?packet_out_rate
-    ?(link_latency = 0.0002) ?fault_seed ?resilience ?max_concurrent_ops () =
+    ?(link_latency = 0.0002) ?fault_seed ?resilience ?max_concurrent_ops
+    ?shards () =
+  let shards =
+    match shards with Some n -> n | None -> shards_from_env ()
+  in
+  if shards < 1 then invalid_arg "Fabric.create: shards must be >= 1";
   let engine = Engine.create ~seed ?obs () in
   let audit = Audit.create engine in
   let faults = Faults.create engine ?seed:fault_seed () in
   let switch =
     Switch.create engine audit ~name:"sw" ?flow_mod_delay ?packet_out_rate ()
   in
-  let ctrl =
-    Controller.create engine audit ~switch ?config ~faults ?resilience ()
+  (* Shard k registers switch connection k (creation order), so routing
+     a packet-in to its flow's owning shard is routing to conn index
+     [Shard.of_key]. With one shard none of this machinery engages and
+     the fabric is event-for-event the pre-shard one. *)
+  let ctrls =
+    Array.init shards (fun shard ->
+        Controller.create engine audit ~switch ?config ~faults ?resilience
+          ~shard ~shards ())
   in
-  let sched = Sched.create ?max_concurrent:max_concurrent_ops ctrl in
-  { engine; audit; switch; ctrl; sched; faults; link_latency }
+  Controller.set_group ctrls;
+  let scheds =
+    Array.map (Sched.create ?max_concurrent:max_concurrent_ops) ctrls
+  in
+  let group = Shard.make ctrls scheds in
+  if shards > 1 then
+    Switch.set_packet_in_router switch (fun (p : Packet.t) ->
+        Shard.of_key ~shards p.Packet.key);
+  {
+    engine;
+    audit;
+    switch;
+    ctrl = ctrls.(0);
+    sched = scheds.(0);
+    group;
+    faults;
+    link_latency;
+  }
 
-let add_nf ?backend t ~name ~impl ~costs =
+let shards t = Shard.count t.group
+let ctrl_of t k = Shard.ctrl t.group k
+let sched_of t k = Shard.sched t.group k
+let nf_sched t nf = Shard.sched t.group (Controller.nf_shard nf)
+
+let add_nf ?backend ?shard t ~name ~impl ~costs =
+  let shard =
+    match shard with
+    | Some s ->
+      if s < 0 || s >= shards t then invalid_arg "Fabric.add_nf: bad shard";
+      s
+    | None -> Shard.of_name ~shards:(shards t) name
+  in
   let runtime =
     Runtime.create t.engine t.audit ~name ~impl ~costs ~faults:t.faults
       ?backend ()
@@ -39,7 +87,7 @@ let add_nf ?backend t ~name ~impl ~costs =
   in
   Channel.set_handler port (Runtime.receive runtime);
   Switch.attach_port t.switch ~name port;
-  let nf = Controller.attach t.ctrl runtime in
+  let nf = Controller.attach (ctrl_of t shard) runtime in
   (nf, runtime)
 
 let inject t p = Switch.inject t.switch p

@@ -20,9 +20,15 @@ type t = {
   audit : Audit.t;
   switch : Switch.t;
   ctrl : Controller.t;
+      (** Shard 0's controller — {e the} controller of an unsharded
+          fabric. *)
   sched : Sched.t;
       (** Ready-made operation scheduler over [ctrl]; idle (and free)
           until something is submitted to it. *)
+  group : Shard.t;
+      (** The full shard group (a single-member group when [shards]
+          is 1). Shard-aware submission ({!Move.submit_sharded}) goes
+          through this. *)
   faults : Opennf_sim.Faults.t;
   link_latency : float;
 }
@@ -37,6 +43,7 @@ val create :
   ?fault_seed:int ->
   ?resilience:Controller.resilience ->
   ?max_concurrent_ops:int ->
+  ?shards:int ->
   unit ->
   t
 (** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}, no
@@ -44,10 +51,26 @@ val create :
     per {!Sched.create}. [obs] (default disabled) is handed to the
     engine and from there reaches every component the fabric wires up:
     op spans, scheduler queues, southbound taps, channel counters, the
-    flow table and the audit ledger all record through it. *)
+    flow table and the audit ledger all record through it.
+
+    [shards] (default: the [OPENNF_SHARDS] environment variable, else 1)
+    partitions the control plane: [shards] controller instances share
+    the one switch (one OpenFlow connection each), packet-ins are routed
+    to the shard owning the packet's flow ({!Shard.of_key}), and each
+    shard has its own scheduler. All shards run in the same engine, so
+    the fabric stays one deterministic virtual-time simulation. With
+    [shards = 1] every event is bit-identical to earlier fabrics. *)
+
+val shards : t -> int
+val ctrl_of : t -> int -> Controller.t
+val sched_of : t -> int -> Sched.t
+
+val nf_sched : t -> Controller.nf -> Sched.t
+(** The scheduler of the NF's home shard. *)
 
 val add_nf :
   ?backend:Opennf_state.Backend.t ->
+  ?shard:int ->
   t ->
   name:string ->
   impl:Opennf_sb.Nf_api.impl ->
@@ -57,7 +80,9 @@ val add_nf :
     and to the controller. [backend] declares where this instance's
     state lives (see {!Opennf_state.Backend}): it is wired into the
     runtime's packet path and registered with the controller, enabling
-    the shared-store and replicated fast paths of {!Controller.state_path}. *)
+    the shared-store and replicated fast paths of {!Controller.state_path}.
+    [shard] picks the home shard (default {!Shard.of_name} of [name];
+    always 0 in a 1-shard fabric). *)
 
 val inject : t -> Packet.t -> unit
 (** Deliver a packet to the switch now. *)

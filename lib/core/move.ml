@@ -511,3 +511,19 @@ let submit sched spec =
   in
   Sched.submit sched ~footprint:fp (fun () ->
       run ~notify_release (Sched.ctrl sched) spec)
+
+(* Shard-aware admission: the source's home shard leads the move (its
+   channels already reach the source NF; destination-side calls route to
+   the destination's home via [Controller.nf_home]). With one shard this
+   is [submit] on that shard's scheduler. *)
+let submit_sharded group spec =
+  let fp = footprint spec in
+  let nfs = [ spec.src; spec.dst ] in
+  let notify_release flowid =
+    match Filter.exact_key flowid with
+    | Some key -> Shard.release_flow group ~footprint:fp ~nfs key
+    | None -> ()
+  in
+  let leader = Controller.nf_home spec.src in
+  Shard.submit group ~footprint:fp ~nfs (fun () ->
+      run ~notify_release leader spec)

@@ -140,3 +140,10 @@ val submit : Sched.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
 (** Queue the move on the scheduler; it runs once no conflicting
     operation is ahead of it. Under [early_release], flows leave the
     held footprint as their chunks land. *)
+
+val submit_sharded : Shard.t -> spec -> (report, Op_error.t) result Proc.Ivar.t
+(** {!submit} routed through a shard group: a move within one shard goes
+    to that shard's scheduler; a cross-shard move is admitted by the
+    two-shard handshake and led by the source's home shard. Early
+    release reaches every involved scheduler. With a 1-shard group this
+    is exactly [submit]. *)

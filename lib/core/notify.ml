@@ -9,7 +9,7 @@ type handle = {
 
 let ( let* ) = Result.bind
 
-let enable ?sched t nf filter callback =
+let enable ?sched ?shard_group t nf filter callback =
   let act () =
     let* () = Op_engine.ensure_alive t nf in
     let sub =
@@ -22,21 +22,22 @@ let enable ?sched t nf filter callback =
     Controller.enable_events t nf filter Protocol.Process;
     Ok { nf; filter; sub }
   in
-  match sched with
-  | None -> act ()
-  | Some s ->
-    (* The enable itself is a short read of the instance: route it
-       through the scheduler so events are not armed in the middle of a
-       conflicting write (e.g. a move of the same flows), but hold
-       nothing afterwards — notifications coexist with later ops. *)
-    Sched.run s
-      ~footprint:
-        (Sched.Footprint.make ~filters:[ filter ]
-           ~reads:[ Controller.nf_name nf ] ())
-      act
+  (* The enable itself is a short read of the instance: route it
+     through a scheduler so events are not armed in the middle of a
+     conflicting write (e.g. a move of the same flows), but hold
+     nothing afterwards — notifications coexist with later ops. With a
+     shard group, the read runs on the instance's home shard. *)
+  let fp () =
+    Sched.Footprint.make ~filters:[ filter ]
+      ~reads:[ Controller.nf_name nf ] ()
+  in
+  match (shard_group, sched) with
+  | Some g, _ -> Shard.run g ~footprint:(fp ()) ~nfs:[ nf ] act
+  | None, Some s -> Sched.run s ~footprint:(fp ()) act
+  | None, None -> act ()
 
-let enable_exn ?sched t nf filter callback =
-  match enable ?sched t nf filter callback with
+let enable_exn ?sched ?shard_group t nf filter callback =
+  match enable ?sched ?shard_group t nf filter callback with
   | Ok h -> h
   | Error e -> raise (Op_error.Op_failed e)
 

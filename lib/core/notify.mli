@@ -10,6 +10,7 @@ type handle
 
 val enable :
   ?sched:Sched.t ->
+  ?shard_group:Shard.t ->
   Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) ->
   (handle, Op_error.t) result
 (** [enable t inst filter callback]: events with action [process] are
@@ -17,10 +18,13 @@ val enable :
     matching packet the instance processes. [Error (Nf_crashed _)] if
     the instance is already known dead. With [sched], the enable is
     admitted as a short read of the instance — it waits out conflicting
-    writes in flight but holds no footprint afterwards. *)
+    writes in flight but holds no footprint afterwards. [shard_group]
+    routes that read through the instance's home shard instead, and
+    takes precedence over [sched]. *)
 
 val enable_exn :
   ?sched:Sched.t ->
+  ?shard_group:Shard.t ->
   Controller.t -> Controller.nf -> Filter.t -> (Packet.t -> unit) -> handle
   [@@deprecated "use Notify.enable and match on the result"]
 

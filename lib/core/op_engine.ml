@@ -35,8 +35,14 @@ let start ?(kind = "op") ctrl ~options =
   let metrics = Opennf_obs.Hub.metrics obs in
   Opennf_obs.Metrics.incr (Opennf_obs.Metrics.counter metrics "op.started");
   let span =
-    Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op" ~name:kind
-      ()
+    if Controller.shard_count ctrl > 1 then
+      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op"
+        ~name:kind
+        ~attrs:[| ("shard", Opennf_obs.Trace.Int (Controller.shard_id ctrl)) |]
+        ()
+    else
+      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op"
+        ~name:kind ()
   in
   { ctrl; engine; started = Engine.now engine; options; obs; span }
 

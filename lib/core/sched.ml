@@ -86,6 +86,7 @@ let create ?(max_concurrent = 8) ctrl =
     invalid_arg "Sched.create: max_concurrent must be at least 1";
   let obs = Controller.obs ctrl in
   let metrics = Opennf_obs.Hub.metrics obs in
+  let sfx = Controller.metric_suffix ctrl in
   {
     engine = Controller.engine ctrl;
     ctrl;
@@ -98,10 +99,10 @@ let create ?(max_concurrent = 8) ctrl =
     peak_active = 0;
     peak_waiting = 0;
     trace = Opennf_obs.Hub.trace obs;
-    m_submitted = Opennf_obs.Metrics.counter metrics "sched.submitted";
-    m_admitted = Opennf_obs.Metrics.counter metrics "sched.admitted";
-    g_depth = Opennf_obs.Metrics.gauge metrics "sched.queue_depth";
-    h_wait = Opennf_obs.Metrics.hist metrics "sched.wait_s";
+    m_submitted = Opennf_obs.Metrics.counter metrics ("sched.submitted" ^ sfx);
+    m_admitted = Opennf_obs.Metrics.counter metrics ("sched.admitted" ^ sfx);
+    g_depth = Opennf_obs.Metrics.gauge metrics ("sched.queue_depth" ^ sfx);
+    h_wait = Opennf_obs.Metrics.hist metrics ("sched.wait_s" ^ sfx);
   }
 
 let ctrl t = t.ctrl
@@ -181,10 +182,18 @@ let conflict_label (fp : Footprint.t) =
   String.concat " " (if fp.Footprint.routes then parts @ [ "routes" ] else parts)
 
 let open_span t ~name footprint =
-  if Opennf_obs.Trace.enabled t.trace then
-    Opennf_obs.Trace.span_open t.trace ~cat:"sched" ~name
-      ~attrs:[| ("class", Opennf_obs.Trace.Str (conflict_label footprint)) |]
-      ()
+  if Opennf_obs.Trace.enabled t.trace then begin
+    let cls = ("class", Opennf_obs.Trace.Str (conflict_label footprint)) in
+    let attrs =
+      if Controller.shard_count t.ctrl > 1 then
+        [|
+          cls;
+          ("shard", Opennf_obs.Trace.Int (Controller.shard_id t.ctrl));
+        |]
+      else [| cls |]
+    in
+    Opennf_obs.Trace.span_open t.trace ~cat:"sched" ~name ~attrs ()
+  end
   else 0
 
 let submit t ~footprint body =

@@ -25,10 +25,12 @@ type t = {
   completion : (int, unit Proc.Ivar.t) Hashtbl.t;
   mutable subs : Controller.subscription list;
   strict_cookie : int option;
-  hold : (Sched.t * Sched.handle) option;
-      (** Scheduler footprint held for the share's lifetime: the share
-          owns its instances' state continuously, so conflicting
-          operations must wait until {!stop}. *)
+  release_hold : unit -> unit;
+      (** Gives back the scheduler footprint held for the share's
+          lifetime: the share owns its instances' state continuously, so
+          conflicting operations must wait until {!stop}. A no-op when
+          the share was started without a scheduler; with a shard group,
+          releases on every shard the instances live on. *)
   mutable updates_synced : int;
   mutable packets_serialized : int;
 }
@@ -135,16 +137,21 @@ let footprint ~instances ~filter ~consistency =
     ~writes:(List.map Controller.nf_name instances)
     ~routes:(consistency = Strict) ()
 
-let start ctrl ?sched ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of
-    ?route ~consistency () =
+let start ctrl ?sched ?shard_group ~instances ~filter
+    ?(scope = [ Scope.Multi ]) ?group_of ?route ~consistency () =
   if instances = [] then Op_engine.bad_spec "Share.start: no instances"
   else begin
-    let hold =
-      match sched with
-      | None -> None
-      | Some s ->
+    let release_hold =
+      match (shard_group, sched) with
+      | Some g, _ ->
         let fp = footprint ~instances ~filter ~consistency in
-        Some (s, Sched.acquire s ~footprint:fp)
+        let h = Shard.acquire g ~footprint:fp ~nfs:instances in
+        fun () -> Shard.release_hold h
+      | None, Some s ->
+        let fp = footprint ~instances ~filter ~consistency in
+        let h = Sched.acquire s ~footprint:fp in
+        fun () -> Sched.release s h
+      | None, None -> fun () -> ()
     in
     let group_of =
       match group_of with
@@ -169,7 +176,7 @@ let start ctrl ?sched ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of
         completion = Hashtbl.create 64;
         subs = [];
         strict_cookie;
-        hold;
+        release_hold;
         updates_synced = 0;
         packets_serialized = 0;
       }
@@ -212,11 +219,11 @@ let start ctrl ?sched ~instances ~filter ?(scope = [ Scope.Multi ]) ?group_of
     Ok t
   end
 
-let start_exn ctrl ?sched ~instances ~filter ?scope ?group_of ?route
-    ~consistency () =
+let start_exn ctrl ?sched ?shard_group ~instances ~filter ?scope ?group_of
+    ?route ~consistency () =
   match
-    start ctrl ?sched ~instances ~filter ?scope ?group_of ?route ~consistency
-      ()
+    start ctrl ?sched ?shard_group ~instances ~filter ?scope ?group_of ?route
+      ~consistency ()
   with
   | Ok t -> t
   | Error e -> raise (Op_error.Op_failed e)
@@ -253,4 +260,4 @@ let stop t =
   wait ();
   List.iter (Controller.unsubscribe t.ctrl) t.subs;
   t.subs <- [];
-  Option.iter (fun (s, h) -> Sched.release s h) t.hold
+  t.release_hold ()

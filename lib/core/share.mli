@@ -48,6 +48,7 @@ val footprint :
 val start :
   Controller.t ->
   ?sched:Sched.t ->
+  ?shard_group:Shard.t ->
   instances:Controller.nf list ->
   filter:Filter.t ->
   ?scope:Scope.t list ->
@@ -61,11 +62,15 @@ val start :
     defaults to [[Multi]]. An empty instance list is
     [Error (Bad_spec _)]. With [sched], the share's {!footprint} is
     acquired before any setup and held until {!stop}, so conflicting
-    operations queue behind it. *)
+    operations queue behind it. [shard_group] does the same across a
+    sharded control plane — the footprint is held on every shard the
+    instances live on (ascending shard-id order) — and takes precedence
+    over [sched]. *)
 
 val start_exn :
   Controller.t ->
   ?sched:Sched.t ->
+  ?shard_group:Shard.t ->
   instances:Controller.nf list ->
   filter:Filter.t ->
   ?scope:Scope.t list ->

@@ -483,3 +483,16 @@ let rules t = Omap.fold_asc (fun _ e acc -> e.rule :: acc) t.by_seq []
 let size t = Hashtbl.length t.by_cookie
 let generation t = t.generation
 let cache_stats t = (t.cache_hits, t.cache_misses)
+
+(* Cookies are allocated strided by controller shard (see
+   {!Opennf.Controller.fresh_cookie}): cookie mod shards names the
+   owning shard, so the cookie partition is the table slice. *)
+let slice_counts t ~shards =
+  if shards < 1 then invalid_arg "Flowtable.slice_counts: shards must be >= 1";
+  let counts = Array.make shards 0 in
+  Hashtbl.iter
+    (fun cookie _ ->
+      let s = ((cookie mod shards) + shards) mod shards in
+      counts.(s) <- counts.(s) + 1)
+    t.by_cookie;
+  counts

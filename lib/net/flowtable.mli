@@ -61,3 +61,8 @@ val generation : t -> int
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] of the per-flow decision cache. *)
+
+val slice_counts : t -> shards:int -> int array
+(** Installed rules per controller shard, by cookie residue
+    ([cookie mod shards]). Controller shards allocate cookies strided
+    by shard id, so this is the per-shard slice of the shared table. *)

@@ -23,9 +23,14 @@ type t = {
   packet_out_rate : float;
   table : Flowtable.t;
   ports : (string, Packet.t Channel.t) Hashtbl.t;
-  mutable to_controller : from_switch Channel.t option;
-  mutable mods_applied_by : float;
-      (** Latest activation time among received flow-mods. *)
+  mutable controllers : from_switch Channel.t option array;
+      (** Indexed by connection id; slot 0 is the legacy controller. *)
+  mutable pick_conn : (Packet.t -> int) option;
+      (** Routes packet-ins to a connection; [None] = everything to 0. *)
+  mutable mods_applied_by : float array;
+      (** Per connection: latest activation time among its flow-mods.
+          Barriers are per-connection, as in OpenFlow: a barrier covers
+          only the flow-mods that arrived on the same connection. *)
   mutable packet_out_free_at : float;
       (** Next instant the packet-out path is idle. *)
   mutable packet_out_backlog : int;
@@ -42,20 +47,61 @@ let create engine audit ~name ?(flow_mod_delay = 0.010)
     packet_out_rate;
     table = Flowtable.create ~engine ();
     ports = Hashtbl.create 8;
-    to_controller = None;
-    mods_applied_by = 0.0;
+    controllers = [||];
+    pick_conn = None;
+    mods_applied_by = [||];
     packet_out_free_at = 0.0;
     packet_out_backlog = 0;
     table_misses = 0;
   }
 
 let attach_port t ~name chan = Hashtbl.replace t.ports name chan
-let set_controller t chan = t.to_controller <- Some chan
 
-let send_to_controller t msg =
-  match t.to_controller with
-  | Some chan -> Channel.send chan ~size:128 msg
-  | None -> ()
+(* Connection state (the channel slot and the barrier clock) is grown on
+   demand: a barrier can arrive on a connection before its reply channel
+   is registered, and the reply — scheduled for later — must still find
+   the channel if registration happens in between. *)
+let ensure_conn t conn =
+  let n = Array.length t.controllers in
+  if conn >= n then begin
+    let grown = Array.make (conn + 1) None in
+    Array.blit t.controllers 0 grown 0 n;
+    t.controllers <- grown;
+    let clocks = Array.make (conn + 1) 0.0 in
+    Array.blit t.mods_applied_by 0 clocks 0 n;
+    t.mods_applied_by <- clocks
+  end
+
+let register_controller t chan =
+  let conn =
+    let n = Array.length t.controllers in
+    let rec first i = if i >= n || t.controllers.(i) = None then i else first (i + 1) in
+    first 0
+  in
+  ensure_conn t conn;
+  t.controllers.(conn) <- Some chan;
+  conn
+
+let set_controller t chan =
+  ensure_conn t 0;
+  t.controllers.(0) <- Some chan
+
+let set_packet_in_router t f = t.pick_conn <- Some f
+
+let connections t =
+  Array.fold_left
+    (fun acc c -> match c with Some _ -> acc + 1 | None -> acc)
+    0 t.controllers
+
+let send_on t ~conn msg =
+  if conn >= 0 && conn < Array.length t.controllers then
+    match t.controllers.(conn) with
+    | Some chan -> Channel.send chan ~size:128 msg
+    | None -> ()
+
+let send_packet_in t packet cookie =
+  let conn = match t.pick_conn with None -> 0 | Some f -> f packet in
+  send_on t ~conn (Packet_in { packet; cookie })
 
 let forward t (p : Packet.t) port =
   match Hashtbl.find_opt t.ports port with
@@ -69,7 +115,7 @@ let apply_actions t p cookie actions =
     (fun action ->
       match (action : Flowtable.action) with
       | Forward port -> forward t p port
-      | To_controller -> send_to_controller t (Packet_in { packet = p; cookie }))
+      | To_controller -> send_packet_in t p cookie)
     actions
 
 let inject t p =
@@ -78,17 +124,18 @@ let inject t p =
   | None -> t.table_misses <- t.table_misses + 1
   | Some rule -> apply_actions t p rule.Flowtable.cookie rule.Flowtable.actions
 
-let control t msg =
+let control_from t ~conn msg =
   let now = Engine.now t.engine in
+  ensure_conn t conn;
   match msg with
   | Install { cookie; priority; filters; actions } ->
     let apply_at = now +. t.flow_mod_delay in
-    t.mods_applied_by <- Float.max t.mods_applied_by apply_at;
+    t.mods_applied_by.(conn) <- Float.max t.mods_applied_by.(conn) apply_at;
     Engine.schedule_at t.engine apply_at (fun () ->
         Flowtable.install t.table ~cookie ~priority ~filters ~actions)
   | Remove { cookie } ->
     let apply_at = now +. t.flow_mod_delay in
-    t.mods_applied_by <- Float.max t.mods_applied_by apply_at;
+    t.mods_applied_by.(conn) <- Float.max t.mods_applied_by.(conn) apply_at;
     Engine.schedule_at t.engine apply_at (fun () ->
         Flowtable.remove t.table ~cookie)
   | Packet_out { port; packet } ->
@@ -99,12 +146,15 @@ let control t msg =
         t.packet_out_backlog <- t.packet_out_backlog - 1;
         forward t packet port)
   | Barrier { id } ->
-    (* Reply once every earlier flow-mod is active. Control-channel
-       serialization (which makes a flow-mod queue behind a packet-out
-       flush) is modeled on the controller->switch channel itself. *)
-    let reply_at = Float.max now t.mods_applied_by in
+    (* Reply once every earlier flow-mod of this connection is active.
+       Control-channel serialization (which makes a flow-mod queue
+       behind a packet-out flush) is modeled on the controller->switch
+       channel itself. *)
+    let reply_at = Float.max now t.mods_applied_by.(conn) in
     Engine.schedule_at t.engine reply_at (fun () ->
-        send_to_controller t (Barrier_reply { id }))
+        send_on t ~conn (Barrier_reply { id }))
+
+let control t msg = control_from t ~conn:0 msg
 
 let table t = t.table
 let table_misses t = t.table_misses
@@ -113,3 +163,5 @@ let table_generation t = Flowtable.generation t.table
 let decision_cache_stats t = Flowtable.cache_stats t.table
 
 let packet_out_backlog t = t.packet_out_backlog
+
+let slice_rule_counts t ~shards = Flowtable.slice_counts t.table ~shards

@@ -47,11 +47,33 @@ val attach_port : t -> name:string -> Packet.t Channel.t -> unit
 (** Connect an output port. [Flowtable.Forward name] sends on it. *)
 
 val set_controller : t -> from_switch Channel.t -> unit
-(** Channel on which the switch emits packet-ins and barrier replies. *)
+(** Channel on which the switch emits packet-ins and barrier replies;
+    binds connection 0 (the single-controller wiring). *)
+
+val register_controller : t -> from_switch Channel.t -> int
+(** Bind an additional controller connection; returns its connection
+    id (0, 1, 2, … in registration order). Barrier replies return on
+    the connection that issued the barrier; packet-ins are routed by
+    {!set_packet_in_router} (default: everything to connection 0). *)
+
+val set_packet_in_router : t -> (Packet.t -> int) -> unit
+(** Route packet-ins by packet (e.g. a flowspace-shard hash). Replies
+    to barriers are unaffected — those always return to the issuing
+    connection. *)
+
+val connections : t -> int
+(** Number of registered controller connections. *)
 
 val control : t -> to_switch -> unit
 (** Deliver a control message to the switch (call through a channel to
-    model controller→switch latency). *)
+    model controller→switch latency). Equivalent to [control_from]
+    on connection 0. *)
+
+val control_from : t -> conn:int -> to_switch -> unit
+(** Deliver a control message arriving on a specific controller
+    connection. Barrier semantics are per-connection, as in OpenFlow: a
+    barrier covers only the flow-mods that arrived on [conn], and its
+    reply is emitted on [conn]'s channel. *)
 
 val inject : t -> Packet.t -> unit
 (** A data packet arrives at the switch. No matching rule ⇒ the packet
@@ -69,3 +91,10 @@ val decision_cache_stats : t -> int * int
 
 val packet_out_backlog : t -> int
 (** Packet-outs accepted but not yet transmitted. *)
+
+val slice_rule_counts : t -> shards:int -> int array
+(** Installed rules per flow-table slice. The data plane is one shared
+    table (it is one switch), but cookies are allocated strided by the
+    owning controller shard ([cookie mod shards] = shard id), so the
+    cookie partition {e is} the slice: entry [k] counts the rules shard
+    [k] owns. *)

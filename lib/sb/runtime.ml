@@ -46,6 +46,8 @@ type t = {
   mutable batch_budget : int option;
   mutable rbuf : (Protocol.reply * int) list;
   mutable rbuf_bytes : int;
+  mutable shard : int;
+      (** Controller shard this runtime is bound to (set at attach). *)
   trace : Opennf_obs.Trace.t;
   m_replies : Opennf_obs.Metrics.counter;
   m_reply_bytes : Opennf_obs.Metrics.counter;
@@ -57,6 +59,8 @@ let name t = t.name
 let impl t = t.impl
 let costs t = t.costs
 let backend t = t.backend
+let bind_shard t shard = t.shard <- shard
+let shard t = t.shard
 
 let alive t =
   match t.faults with
@@ -405,6 +409,7 @@ let create engine audit ~name ~impl ~costs ?faults ?backend () =
       batch_budget = None;
       rbuf = [];
       rbuf_bytes = 0;
+      shard = 0;
       trace = Opennf_obs.Hub.trace obs;
       m_replies = Opennf_obs.Metrics.counter metrics "sb.replies";
       m_reply_bytes = Opennf_obs.Metrics.counter metrics "sb.reply_bytes";

@@ -46,6 +46,15 @@ val name : t -> string
 val impl : t -> Nf_api.impl
 val costs : t -> Costs.t
 
+val bind_shard : t -> int -> unit
+(** Record the controller shard this runtime answers to; called by
+    [Controller.attach]. Purely descriptive (the runtime talks to its
+    home shard through the channels attach wired up), but lets tools
+    and tests ask a runtime where it lives. *)
+
+val shard : t -> int
+(** The bound controller shard; 0 until {!bind_shard}. *)
+
 val receive : t -> Packet.t -> unit
 (** Data-plane entry point: wire this as the handler of the switch-port
     channel feeding this NF. *)

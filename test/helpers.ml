@@ -20,19 +20,23 @@ type testbed = {
   last_packet_at : float;
 }
 
-(* Two PRADS instances; [flows] flows at [rate] pps routed to nf1. *)
+(* Two PRADS instances; [flows] flows at [rate] pps routed to nf1.
+   With [shards], nf1 homes on shard 0 and nf2 on the last shard, so a
+   move between them exercises the cross-shard path. *)
 let prads_pair ?(seed = 7) ?(flows = 50) ?(rate = 1000.0) ?(duration = 2.0)
-    ?packet_out_rate ?resilience () =
-  let fab = Fabric.create ~seed ?packet_out_rate ?resilience () in
+    ?packet_out_rate ?resilience ?shards () =
+  let fab = Fabric.create ~seed ?packet_out_rate ?resilience ?shards () in
   let prads1 = Opennf_nfs.Prads.create () in
   let prads2 = Opennf_nfs.Prads.create () in
   let nf1, rt1 =
-    Fabric.add_nf fab ~name:"prads1" ~impl:(Opennf_nfs.Prads.impl prads1)
-      ~costs:Costs.prads
+    Fabric.add_nf fab ~shard:0 ~name:"prads1"
+      ~impl:(Opennf_nfs.Prads.impl prads1) ~costs:Costs.prads
   in
   let nf2, rt2 =
-    Fabric.add_nf fab ~name:"prads2" ~impl:(Opennf_nfs.Prads.impl prads2)
-      ~costs:Costs.prads
+    Fabric.add_nf fab
+      ~shard:(Fabric.shards fab - 1)
+      ~name:"prads2"
+      ~impl:(Opennf_nfs.Prads.impl prads2) ~costs:Costs.prads
   in
   let gen = Opennf_trace.Gen.create ~seed:(seed + 1) () in
   let schedule, keys =

@@ -22,6 +22,7 @@ let () =
       ("trace", Test_trace.suite);
       ("properties", Test_props.suite);
       ("sched", Test_sched.suite);
+      ("shard", Test_shard.suite);
       ("faults", Test_faults.suite);
       ("backend", Test_backend.suite);
       ("obs", Test_obs.suite);
