@@ -36,6 +36,38 @@ let ms v = Printf.sprintf "%.1f" (1000.0 *. v)
 let mb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1_048_576.0)
 let kb bytes = Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0)
 
+(* --- wall-clock measurement ---------------------------------------------- *)
+
+type timed = {
+  t_min : float;  (** Best of the repeats (s) — the noise-robust estimate. *)
+  t_spread : float;  (** max - min over the repeats (s): run-to-run jitter. *)
+  t_repeats : int;
+}
+
+(* Min-of-k wall time of [f], rebuilding everything each repeat. The
+   minimum is the estimate (scheduling noise and cold caches only ever
+   add time); the spread is recorded next to it in the BENCH JSON so a
+   consumer gating on a ratio can judge whether the numbers are stable
+   enough to gate on. OPENNF_BENCH_REPEATS overrides [k]. *)
+let time_min_of ?(k = 3) f =
+  let k =
+    match Sys.getenv_opt "OPENNF_BENCH_REPEATS" with
+    | Some s -> Stdlib.max 1 (int_of_string (String.trim s))
+    | None -> k
+  in
+  let result = ref None in
+  let times =
+    List.init k (fun _ ->
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        result := Some r;
+        Unix.gettimeofday () -. t0)
+  in
+  let mn = List.fold_left Float.min infinity times in
+  let mx = List.fold_left Float.max neg_infinity times in
+  ({ t_min = mn; t_spread = mx -. mn; t_repeats = k }, Option.get !result)
+
 (* --- testbeds ----------------------------------------------------------- *)
 
 type prads_bed = {
@@ -79,10 +111,10 @@ let prads_bed ?(seed = 101) ?(flows = 500) ?(rate = 2500.0) ?duration
   { fab; nf1; nf2; rt1; rt2; keys; move_at }
 
 (* Run [body] at virtual time [at], then the whole simulation. *)
-let run_at fab ~at body =
+let run_at ?workers fab ~at body =
   Engine.schedule_at fab.Fabric.engine at (fun () ->
       Proc.spawn fab.Fabric.engine body);
-  Fabric.run fab
+  Fabric.run ?workers fab
 
 (* Added latency (s) of the packets a move affected: those carried in
    events or buffered at the destination. *)
@@ -116,14 +148,19 @@ type shard_run = {
   s_cross : int;  (* Operations admitted via the cross-shard handshake. *)
   s_messages : int;  (* Inbound controller messages, summed over shards. *)
   s_digest : int64;  (* Semantic outcome digest (reports + final stores). *)
+  s_domains : int;  (* Worker domains a parallel run stepped on; 0 serial. *)
 }
 
 (* The shard-scaling workload: [ops] disjoint loss-free moves between
    dummy pairs, pair [i] homed on shard [i mod shards]. Controller CPU
    dominates (3 inbound messages per flow), so the virtual makespan
    measures how well the control plane parallelizes; the digest proves
-   the sharded run computed the same thing as the serial one. *)
-let run_shard_workload ?(seed = 42) ~ops ~flows ~shards () =
+   the sharded run computed the same thing as the serial one. [par]
+   runs each shard on its own engine/domain (the ISSUE 9 parallel
+   path); [obs]/[shard_obs] attach tracing hubs for canonical trace
+   comparison; [workers] caps the domains of a parallel run. *)
+let run_shard_workload ?(seed = 42) ?obs ?shard_obs ?par ?workers ~ops ~flows
+    ~shards () =
   let subnet i = Ipaddr.Prefix.make (Ipaddr.v 10 (160 + i) 0 0) 16 in
   let servers = Ipaddr.Prefix.make (Ipaddr.v 172 31 0 0) 16 in
   let filter i = Filter.make ~src:(subnet i) ~dst:servers () in
@@ -135,7 +172,7 @@ let run_shard_workload ?(seed = 42) ~ops ~flows ~shards () =
           ~dst:(Ipaddr.v 172 31 0 1) ~proto:Flow.Tcp ~sport:(20000 + k)
           ~dport:443 ())
   in
-  let fab = Fabric.create ~seed ~shards () in
+  let fab = Fabric.create ~seed ?obs ?shard_obs ?par ~shards () in
   let pairs =
     List.init ops (fun i ->
         let d1 = Opennf_nfs.Dummy.create () in
@@ -161,7 +198,7 @@ let run_shard_workload ?(seed = 42) ~ops ~flows ~shards () =
   let finished = ref 0.0 in
   let digest = ref (Opennf_util.Hashing.fnv1a64 "shards") in
   let fold i = digest := Opennf_util.Hashing.combine !digest (Int64.of_int i) in
-  run_at fab ~at:1.0 (fun () ->
+  run_at ?workers fab ~at:1.0 (fun () ->
       let ivars =
         List.map
           (fun (i, nf1, nf2, _, _) ->
@@ -190,6 +227,10 @@ let run_shard_workload ?(seed = 42) ~ops ~flows ~shards () =
     s_cross = Opennf.Shard.cross_shard_ops fab.Fabric.group;
     s_messages = Opennf.Shard.messages_handled fab.Fabric.group;
     s_digest = !digest;
+    s_domains =
+      (match fab.Fabric.par with
+      | Some p -> Opennf_sim.Par.workers_used p
+      | None -> 0);
   }
 
 (* --- metrics snapshots --------------------------------------------------- *)

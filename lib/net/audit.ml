@@ -92,6 +92,53 @@ let records t wanted =
 let remember tbl id time =
   if not (Hashtbl.mem tbl id) then Hashtbl.add tbl id time
 
+(* Read-only union of several shard audits (parallel shard execution
+   keeps one audit per shard engine). Records merge in (virtual time,
+   shard index, buffer position) order — a pure function of the
+   per-shard buffers, so the merged ledger is as deterministic as its
+   parts. Per-key relative order matches a serial run's: one flow's
+   packets all live on one shard, so their relative order is that
+   shard's buffer order. The result is a snapshot for queries; nothing
+   should log to it. *)
+let merged engine sources =
+  let cursor = ref 0.0 in
+  let tr = Trace.create () in
+  Trace.set_clock tr (fun () -> !cursor);
+  let t =
+    {
+      engine;
+      trace = tr;
+      arrived = Hashtbl.create 1024;
+      first_forward = Hashtbl.create 1024;
+      first_arrival = Hashtbl.create 1024;
+      first_process = Hashtbl.create 1024;
+    }
+  in
+  let evs = ref [] in
+  List.iteri
+    (fun src a ->
+      let pos = ref 0 in
+      Trace.iter a.trace (fun ev ->
+          if ev.Trace.kind = Trace.Instant && ev.Trace.cat = "audit" then begin
+            evs := (ev.Trace.vt, src, !pos, ev) :: !evs;
+            incr pos
+          end))
+    sources;
+  let evs = List.sort compare (List.rev !evs) in
+  List.iter
+    (fun ((vt : float), _, _, (ev : Trace.ev)) ->
+      cursor := vt;
+      Trace.instant tr ~cat:"audit" ~name:ev.Trace.name ~attrs:ev.Trace.attrs ();
+      let r = decode ev in
+      match ev.Trace.name with
+      | "arrival" -> Hashtbl.replace t.arrived r.pkt ()
+      | "forward" -> remember t.first_forward r.pkt vt
+      | "nf_arrival" -> remember t.first_arrival r.pkt vt
+      | "process" -> remember t.first_process r.pkt vt
+      | _ -> ())
+    evs;
+  t
+
 let now t = Engine.now t.engine
 
 let log_switch_arrival t p =

@@ -20,6 +20,13 @@ type t
 val create : Opennf_sim.Engine.t -> t
 (** Shares the engine hub's tracer when it is tracing. *)
 
+val merged : Opennf_sim.Engine.t -> t list -> t
+(** Read-only union of several shard audits (the parallel fabric keeps
+    one audit per shard engine). Records merge in (virtual time, shard
+    index, buffer position) order — deterministic, and per-key order
+    identical to a serial run's, since one flow's packets all live on
+    one shard. A query snapshot: do not log to it. *)
+
 (** {1 Recording} *)
 
 val log_forward : t -> Packet.t -> dst:string -> unit

@@ -373,6 +373,45 @@ let peek t =
 
 let pop t = match t.q with Qheap h -> Heap.pop h | Qwheel w -> Wheel.pop w
 
+let next_time t = match peek t with None -> infinity | Some ev -> ev.time
+
+(* Dispatch exactly one event. Shared by [run], [step] and [run_until]:
+   both queue implementations pop in identical (time, seq) order, so
+   bounded stepping observes the same dispatch sequence as a free
+   [run] regardless of OPENNF_SCHEDULER. *)
+let dispatch_one t =
+  let ev = pop t in
+  t.clock <- ev.time;
+  t.processed <- t.processed + 1;
+  Opennf_obs.Metrics.incr t.m_events;
+  ev.thunk ()
+
+let step t =
+  if t.running then invalid_arg "Engine.step: engine is already running";
+  match peek t with
+  | None -> false
+  | Some _ ->
+    t.running <- true;
+    Fun.protect ~finally:(fun () -> t.running <- false) (fun () ->
+        dispatch_one t);
+    true
+
+type stop = Empty | Reached_until
+
+let run_until t ~until =
+  if t.running then invalid_arg "Engine.run_until: engine is already running";
+  t.running <- true;
+  Fun.protect ~finally:(fun () -> t.running <- false) (fun () ->
+      let rec loop () =
+        match peek t with
+        | None -> Empty
+        | Some ev when ev.time > until -> Reached_until
+        | Some _ ->
+          dispatch_one t;
+          loop ()
+      in
+      loop ())
+
 let run ?(until = infinity) t =
   if t.running then invalid_arg "Engine.run: already running";
   t.running <- true;
@@ -381,12 +420,7 @@ let run ?(until = infinity) t =
     match peek t with
     | None -> continue := false
     | Some ev when ev.time > until -> continue := false
-    | Some _ ->
-      let ev = pop t in
-      t.clock <- ev.time;
-      t.processed <- t.processed + 1;
-      Opennf_obs.Metrics.incr t.m_events;
-      ev.thunk ()
+    | Some _ -> dispatch_one t
   done;
   if until <> infinity && t.clock < until then t.clock <- until;
   t.running <- false

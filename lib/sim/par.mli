@@ -1,0 +1,65 @@
+(** Conservative-lookahead parallel execution of multiple engines.
+
+    Couples [n] {!Engine}s — one per shard, each stepped on its own
+    domain — through deterministic cross-engine channels. The
+    coordinator alternates two phases:
+
+    - {b deliver}: with every engine quiescent, buffered cross-engine
+      messages are merged in (time, src shard, seq) order and scheduled
+      on their destination engines;
+    - {b advance}: each engine [j] concurrently drains events strictly
+      below [bound(j) = min over i <> j of next(i)] — no peer can emit
+      a message stamped earlier than its own next event, so nothing can
+      arrive in [j]'s past — plus the tie batch at exactly the global
+      minimum time, which guarantees progress when horizons collide.
+
+    Delivery order is a pure function of (time, src, seq) and never of
+    domain scheduling, so a parallel run is deterministic and
+    independent of the worker count (including 1: the whole protocol
+    degenerates to a serial interleaving with identical results, which
+    is how the test suite exercises it on single-core runners). *)
+
+type t
+
+val create : Engine.t array -> t
+(** Couple the given engines. Index in the array is the shard id. *)
+
+val shards : t -> int
+val engine : t -> int -> Engine.t
+
+val self : t -> int option
+(** The shard whose window is executing on the calling domain, or
+    [None] outside any window (setup phase, coordinator phase). *)
+
+val post : t -> dst:int -> (unit -> unit) -> unit
+(** [post t ~dst f] runs [f] on shard [dst]'s engine at the sender's
+    current virtual time (zero-latency channel). From inside a shard
+    window the message is buffered and delivered at the next round
+    boundary; during the setup phase (no run in flight, everything on
+    one domain) it takes effect immediately. [f] must only touch state
+    owned by shard [dst]. *)
+
+val call : t -> dst:int -> (('a -> unit) -> unit) -> 'a
+(** [call t ~dst f] bridges a round trip: [f fill] runs on shard
+    [dst]'s engine at the caller's current virtual time; whenever
+    (later, from any shard window) [fill v] is invoked, the caller —
+    which must be a {!Proc} on its own shard's engine — resumes with
+    [v] at that virtual time. The virtual-time cost is identical to
+    running [f] directly in a single-engine simulation: both hops ride
+    zero-latency channels. *)
+
+val run : ?workers:int -> t -> unit
+(** Drive all engines to quiescence (every queue empty, no message in
+    flight). [workers] caps the domains used (default: the process-wide
+    persistent {!Opennf_util.Domain_pool.Workers} pool size, never more
+    than there are shards). The worker count affects wall-clock time
+    only, never results. Re-entrant calls are rejected. *)
+
+val rounds : t -> int
+(** Coordinator rounds executed by the last run (statistics). *)
+
+val delivered : t -> int
+(** Cross-engine messages delivered by the last run (statistics). *)
+
+val workers_used : t -> int
+(** Parallel worker domains the last run stepped engines on. *)

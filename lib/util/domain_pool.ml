@@ -73,6 +73,147 @@ let pool_size ?domains ~tasks () =
       (Stdlib.min tasks
          (match domains with Some d -> d | None -> default_domains ()))
 
+(* --- persistent workers -------------------------------------------------- *)
+
+(* Spawn-once / submit-many workers for callers that dispatch many tiny
+   rounds (the parallel-DES epoch loop steps engines thousands of times
+   per run; paying Domain.spawn per round would dwarf the work). The
+   caller's own domain doubles as worker 0, so [size] workers cost
+   [size - 1] spawned domains.
+
+   Each helper owns a slot with a published epoch counter: the caller
+   writes the job, bumps [go], and the helper (spinning briefly, then
+   blocking on a condvar) runs it and bumps [done_]. Atomics give the
+   happens-before edges for the job closure and everything it touches;
+   the mutex/condvar pair only arbitrates sleep/wake. *)
+module Workers = struct
+  type slot = {
+    mutable job : int -> unit;
+    go : int Atomic.t; (* epoch the helper should run next *)
+    done_ : int Atomic.t; (* last epoch the helper completed *)
+    m : Mutex.t;
+    cv : Condition.t;
+    mutable helper_asleep : bool;
+    mutable caller_asleep : bool;
+  }
+
+  type t = {
+    size : int;
+    slots : slot array; (* size - 1 helpers; index w-1 drives worker w *)
+    domains : unit Domain.t array;
+    mutable epoch : int;
+    mutable live : bool;
+  }
+
+  let spin_budget = 2_000
+
+  let helper_loop slot w =
+    let epoch = ref 1 in
+    let continue = ref true in
+    while !continue do
+      (* Wait for [go] to reach our epoch: spin, then block. *)
+      let spins = ref 0 in
+      while Atomic.get slot.go < !epoch && !spins < spin_budget do
+        Domain.cpu_relax ();
+        incr spins
+      done;
+      if Atomic.get slot.go < !epoch then begin
+        Mutex.lock slot.m;
+        while Atomic.get slot.go < !epoch do
+          slot.helper_asleep <- true;
+          Condition.wait slot.cv slot.m
+        done;
+        slot.helper_asleep <- false;
+        Mutex.unlock slot.m
+      end;
+      let j = slot.job in
+      if j == ignore then continue := false
+      else begin
+        (try j w
+         with e ->
+           (* Parallel engine windows never raise in normal operation;
+              anything else is a bug we must not swallow silently. *)
+           prerr_endline
+             ("Domain_pool.Workers: worker raised " ^ Printexc.to_string e));
+        ()
+      end;
+      Atomic.set slot.done_ !epoch;
+      Mutex.lock slot.m;
+      if slot.caller_asleep then Condition.broadcast slot.cv;
+      Mutex.unlock slot.m;
+      incr epoch
+    done
+
+  let create ?domains () =
+    let size =
+      Stdlib.max 1
+        (match domains with Some d -> d | None -> default_domains ())
+    in
+    let slots =
+      Array.init (size - 1) (fun _ ->
+          {
+            job = ignore;
+            go = Atomic.make 0;
+            done_ = Atomic.make 0;
+            m = Mutex.create ();
+            cv = Condition.create ();
+            helper_asleep = false;
+            caller_asleep = false;
+          })
+    in
+    let domains =
+      Array.mapi (fun i slot -> Domain.spawn (fun () -> helper_loop slot (i + 1)))
+        slots
+    in
+    { size; slots; domains; epoch = 0; live = true }
+
+  let size t = t.size
+
+  let post t f =
+    t.epoch <- t.epoch + 1;
+    Array.iter
+      (fun slot ->
+        slot.job <- f;
+        Atomic.set slot.go t.epoch;
+        Mutex.lock slot.m;
+        if slot.helper_asleep then Condition.broadcast slot.cv;
+        Mutex.unlock slot.m)
+      t.slots
+
+  let await t =
+    Array.iter
+      (fun slot ->
+        let spins = ref 0 in
+        while Atomic.get slot.done_ < t.epoch && !spins < spin_budget do
+          Domain.cpu_relax ();
+          incr spins
+        done;
+        if Atomic.get slot.done_ < t.epoch then begin
+          Mutex.lock slot.m;
+          while Atomic.get slot.done_ < t.epoch do
+            slot.caller_asleep <- true;
+            Condition.wait slot.cv slot.m
+          done;
+          slot.caller_asleep <- false;
+          Mutex.unlock slot.m
+        end)
+      t.slots
+
+  let run t f =
+    if not t.live then invalid_arg "Domain_pool.Workers.run: shut down";
+    post t f;
+    (* The caller is worker 0 — run its share inline while helpers work. *)
+    f 0;
+    await t
+
+  let shutdown t =
+    if t.live then begin
+      t.live <- false;
+      post t ignore;
+      Array.iter Domain.join t.domains
+    end
+end
+
 (* [run ?domains tasks] evaluates every thunk and returns their results
    in task order. [domains] caps the pool size (default: the runtime's
    recommended domain count, never more than there are tasks). With a

@@ -23,3 +23,37 @@ val run : ?domains:int -> (unit -> 'a) array -> 'a array
     order. [domains] caps the pool size (default
     {!default_domains}, never more than there are tasks). An exception
     in any task is re-raised after all domains finish. *)
+
+(** Persistent pinned workers: spawn once, submit many rounds.
+
+    For callers that dispatch thousands of tiny synchronous rounds
+    (the parallel-DES epoch loop), where a [Domain.spawn] per round
+    would dwarf the work. Worker 0 is the calling domain itself, so a
+    pool of size [n] spawns [n - 1] helper domains; worker [w] always
+    runs on the same domain, which keeps any domain-local state (and
+    effect-handler continuations captured inside a worker's share)
+    on one consistent domain across rounds. *)
+module Workers : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** Spawn the helpers now. [domains] caps the pool size (default
+      {!default_domains}; minimum 1 — a size-1 pool spawns nothing and
+      {!run} degenerates to an inline call). *)
+
+  val size : t -> int
+  (** Number of workers, including the caller's domain as worker 0. *)
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f w] on every worker [w] (0 inclusive) and
+      returns when all have finished. The atomics protecting the round
+      hand-off give the usual happens-before edges: writes made before
+      [run] are visible to every worker, and writes made by workers are
+      visible to the caller after [run] returns. Helpers spin briefly
+      between rounds, then block — an idle pool costs no CPU. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the helper domains. Idempotent. Required before the
+      process can spawn unrelated domains past the runtime's limit —
+      don't leak pools in loops that create many of them. *)
+end
