@@ -178,9 +178,11 @@ type move_row = { mv_wall : float; mv_virtual : float }
 (* Single-flow loss-free move out of a PRADS instance already holding
    [n] flows of state. The state is preloaded directly into the NF
    implementation (outside the simulation) so the bench isolates the
-   move itself. *)
-let bench_move n =
-  let fab = Fabric.create ~seed:5 () in
+   move itself. [obs] is shared across the sizes, so one registry (and
+   one trace buffer) accumulates all three moves — the critical-path
+   reconciliation below sums them against [op.duration_s]. *)
+let bench_move ~obs n =
+  let fab = Fabric.create ~seed:5 ~obs () in
   let prads1 = Opennf_nfs.Prads.create () in
   let prads2 = Opennf_nfs.Prads.create () in
   let nf1, _rt1 =
@@ -221,6 +223,7 @@ let json_row n ft st mv =
 
 let run () =
   H.section "Data-plane indexing (flow-table lookup, getPerflow, move)";
+  let obs = Opennf_obs.Hub.create ~trace:true () in
   let rows =
     List.map
       (fun n ->
@@ -228,7 +231,7 @@ let run () =
         Gc.compact ();
         let st = bench_store n in
         Gc.compact ();
-        let mv = bench_move n in
+        let mv = bench_move ~obs n in
         Gc.compact ();
         (n, ft, st, mv))
       sizes
@@ -270,6 +273,27 @@ let run () =
        (List.map (fun (n, ft, st, mv) -> json_row n ft st mv) rows));
   output_string oc "\n  ]\n}\n";
   close_out oc;
-  H.note "wrote BENCH_datapath.json"
+  H.note "wrote BENCH_datapath.json";
+  (* Attribute each move's virtual time to protocol phases and prove the
+     attribution lost nothing: the span-derived total must equal the
+     [op.duration_s] histogram's running sum bit for bit. *)
+  let ops = Opennf_obs.Critical_path.analyze (Opennf_obs.Hub.trace obs) in
+  let cp_total = Opennf_obs.Critical_path.total ops in
+  let hist_sum =
+    match
+      List.assoc_opt "op.duration_s"
+        (Opennf_obs.Metrics.hists (Opennf_obs.Hub.metrics obs))
+    with
+    | Some h -> Opennf_util.Stats.Histogram.sum h
+    | None -> 0.0
+  in
+  H.note "reconcile: critical-path total %.9fs vs op.duration_s sum %.9fs (%s, %d moves)"
+    cp_total hist_sum
+    (if Float.equal cp_total hist_sum then "exact" else "MISMATCH")
+    (List.length ops);
+  if not (Float.equal cp_total hist_sum) then
+    failwith "datapath: critical-path total does not reconcile";
+  Opennf_obs.Critical_path.observe (Opennf_obs.Hub.metrics obs) ops;
+  H.write_metrics ~bench:"datapath" obs
 
 let () = H.register ~id:"datapath" ~descr:"indexed data path: lookup/getPerflow/move scaling" run

@@ -85,8 +85,8 @@ type prads_bed = {
 (* The §8.1.1 testbed: two PRADS monitors, [flows] flows at [rate]
    packets/second initially routed to the first instance. *)
 let prads_bed ?(seed = 101) ?(flows = 500) ?(rate = 2500.0) ?duration
-    ?packet_out_rate () =
-  let fab = Fabric.create ~seed ?packet_out_rate () in
+    ?packet_out_rate ?resilience ?monitor () =
+  let fab = Fabric.create ~seed ?packet_out_rate ?resilience ?monitor () in
   let prads1 = Opennf_nfs.Prads.create () in
   let prads2 = Opennf_nfs.Prads.create () in
   let nf1, rt1 =
@@ -159,8 +159,11 @@ type shard_run = {
    runs each shard on its own engine/domain (the ISSUE 9 parallel
    path); [obs]/[shard_obs] attach tracing hubs for canonical trace
    comparison; [workers] caps the domains of a parallel run. *)
-let run_shard_workload ?(seed = 42) ?obs ?shard_obs ?par ?workers ~ops ~flows
-    ~shards () =
+(* [monitor] attaches the live guarantee checkers ({!Fabric.create});
+   [on_fabric] runs after the simulation completes, before the fabric is
+   dropped — the moncheck gate reads {!Fabric.verdict} through it. *)
+let run_shard_workload ?(seed = 42) ?obs ?shard_obs ?par ?workers ?monitor
+    ?on_fabric ~ops ~flows ~shards () =
   let subnet i = Ipaddr.Prefix.make (Ipaddr.v 10 (160 + i) 0 0) 16 in
   let servers = Ipaddr.Prefix.make (Ipaddr.v 172 31 0 0) 16 in
   let filter i = Filter.make ~src:(subnet i) ~dst:servers () in
@@ -172,7 +175,7 @@ let run_shard_workload ?(seed = 42) ?obs ?shard_obs ?par ?workers ~ops ~flows
           ~dst:(Ipaddr.v 172 31 0 1) ~proto:Flow.Tcp ~sport:(20000 + k)
           ~dport:443 ())
   in
-  let fab = Fabric.create ~seed ?obs ?shard_obs ?par ~shards () in
+  let fab = Fabric.create ~seed ?obs ?shard_obs ?par ?monitor ~shards () in
   let pairs =
     List.init ops (fun i ->
         let d1 = Opennf_nfs.Dummy.create () in
@@ -221,6 +224,7 @@ let run_shard_workload ?(seed = 42) ?obs ?shard_obs ?par ?workers ~ops ~flows
       fold (Opennf_nfs.Dummy.flow_count d1);
       fold (Opennf_nfs.Dummy.imported_count d2))
     pairs;
+  Option.iter (fun f -> f fab) on_fabric;
   {
     s_shards = shards;
     s_makespan = !finished -. 1.0;

@@ -190,6 +190,109 @@ let trace_cmd =
     Term.(
       const run_trace $ flows_arg $ rate_arg $ seed $ out $ timeline $ shards)
 
+(* --- report command -------------------------------------------------------- *)
+
+(* Critical-path latency attribution plus the runtime guarantee verdict
+   for a seeded two-move scenario: an order-preserving move out and a
+   loss-free move back, both admitted through the scheduler (their
+   footprints conflict, so the second op shows real queue wait). All
+   output is virtual-time data — two runs with the same arguments are
+   byte-identical, which @bench-check's moncheck gate relies on. *)
+let run_report flows rate seed shards openmetrics folded =
+  let obs = Opennf_obs.Hub.create ~trace:true () in
+  let fab = Fabric.create ~seed ~obs ~shards ~monitor:true () in
+  let prads1 = Opennf_nfs.Prads.create () in
+  let prads2 = Opennf_nfs.Prads.create () in
+  let nf1, _ =
+    Fabric.add_nf fab ~shard:0 ~name:"prads1"
+      ~impl:(Opennf_nfs.Prads.impl prads1) ~costs:Costs.prads
+  in
+  let nf2, _ =
+    Fabric.add_nf fab ~shard:(shards - 1) ~name:"prads2"
+      ~impl:(Opennf_nfs.Prads.impl prads2) ~costs:Costs.prads
+  in
+  let gen = Opennf_trace.Gen.create () in
+  let handshakes = 2.0 *. float_of_int flows /. rate in
+  let schedule, _ =
+    Opennf_trace.Gen.steady_flows gen ~flows ~rate ~start:0.05
+      ~duration:(handshakes +. 2.5) ()
+  in
+  List.iter (fun (at, p) -> Fabric.inject_at fab at p) schedule;
+  Proc.spawn fab.engine (fun () -> Controller.set_route fab.ctrl Filter.any nf1);
+  Engine.schedule_at fab.engine (handshakes +. 0.55) (fun () ->
+      Proc.spawn fab.engine (fun () ->
+          let submit spec =
+            if shards <= 1 then Move.submit fab.sched spec
+            else Move.submit_sharded fab.Fabric.group spec
+          in
+          let out =
+            submit
+              (Move.spec ~src:nf1 ~dst:nf2 ~filter:Filter.any
+                 ~guarantee:Move.Order_preserving ())
+          in
+          let back =
+            submit
+              (Move.spec ~src:nf2 ~dst:nf1 ~filter:Filter.any
+                 ~guarantee:Move.Loss_free ~parallel:true ())
+          in
+          ignore (ok (Proc.Ivar.read out));
+          ignore (ok (Proc.Ivar.read back))));
+  Fabric.run fab;
+  let tr = Opennf_obs.Hub.trace obs in
+  let metrics = Opennf_obs.Hub.metrics obs in
+  let ops = Opennf_obs.Critical_path.analyze tr in
+  print_string (Opennf_obs.Critical_path.report ops);
+  (* The reconciliation contract (see {!Opennf_obs.Critical_path}):
+     span-derived totals equal the histogram's running sum bit for
+     bit — any drift means attribution lost or double-counted time. *)
+  let cp_total = Opennf_obs.Critical_path.total ops in
+  let hist_sum =
+    match
+      List.assoc_opt "op.duration_s" (Opennf_obs.Metrics.hists metrics)
+    with
+    | Some h -> Opennf_util.Stats.Histogram.sum h
+    | None -> 0.0
+  in
+  Format.printf
+    "reconcile: critical-path total %.17g s, op.duration_s sum %.17g s (%s)@."
+    cp_total hist_sum
+    (if Float.equal cp_total hist_sum then "exact" else "MISMATCH");
+  print_string (Opennf_obs.Monitor.render (Fabric.verdict fab));
+  if folded then print_string (Opennf_obs.Critical_path.folded ops);
+  if openmetrics then begin
+    Opennf_obs.Critical_path.observe metrics ops;
+    print_string (Opennf_obs.Export.openmetrics metrics)
+  end
+
+let report_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Engine seed.") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:"Controller shards (the moves cross shards when > 1).")
+  in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Also print the metrics registry in OpenMetrics text format.")
+  in
+  let folded =
+    Arg.(
+      value & flag
+      & info [ "folded" ]
+          ~doc:"Also print flamegraph-style folded phase stacks.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Critical-path phase attribution + runtime guarantee verdict for a \
+          scheduled two-move scenario")
+    Term.(
+      const run_report $ flows_arg $ rate_arg $ seed $ shards $ openmetrics
+      $ folded)
+
 (* --- baseline command ----------------------------------------------------- *)
 
 let run_baseline flows rate =
@@ -296,4 +399,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ move_cmd; baseline_cmd; scale_out_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ move_cmd; baseline_cmd; scale_out_cmd; trace_cmd; report_cmd ]))

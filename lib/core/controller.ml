@@ -126,6 +126,13 @@ and t = {
   mutable next_cookie : int;
   mutable next_sub : int;
   mutable handled : int;
+  mutable op_parent : int;
+      (** Ambient parent span for the next op started on this shard: the
+          scheduler stamps its entry's span here just before running the
+          admitted body, and {!Op_engine.start} consumes it, linking the
+          op span under its scheduler span (queue-wait attribution).
+          Safe as an ambient: procs are cooperative and the consume
+          happens before the op's first blocking point. 0 = unlinked. *)
   trace : Opennf_obs.Trace.t;
   m_requests : Opennf_obs.Metrics.counter;
   m_request_bytes : Opennf_obs.Metrics.counter;
@@ -157,6 +164,13 @@ let shard_count t = t.shards
 
 let metric_suffix t =
   if t.shards <= 1 then "" else Printf.sprintf ".shard%d" t.shard
+
+let set_op_parent t span = t.op_parent <- span
+
+let take_op_parent t =
+  let span = t.op_parent in
+  t.op_parent <- 0;
+  span
 
 (* The shard group. Before {!set_group} (and always at [shards = 1]) a
    controller is its own whole group. *)
@@ -331,6 +345,7 @@ let create engine audit ~switch ?(config = default_config) ?faults ?resilience
       next_cookie = 1;
       next_sub = 0;
       handled = 0;
+      op_parent = 0;
       trace = Opennf_obs.Hub.trace hub;
       m_requests = Opennf_obs.Metrics.counter metrics ("sb.requests" ^ msuf);
       m_request_bytes =

@@ -128,6 +128,18 @@ val obs : t -> Opennf_obs.Hub.t
 val audit : t -> Audit.t
 val resilience : t -> resilience option
 
+val set_op_parent : t -> int -> unit
+(** Stamp the ambient parent span for the next operation started on
+    this shard. {!Sched} sets it (to the scheduler entry's span) right
+    before running an admitted body; {!Op_engine.start} consumes it via
+    {!take_op_parent}, so the op span nests under its scheduler span
+    and queue wait is attributable per op. Safe as a per-shard ambient:
+    procs are cooperative and the consume happens before the op's first
+    blocking point. *)
+
+val take_op_parent : t -> int
+(** Read-and-clear the ambient op parent (0 when unset). *)
+
 val attach : ?backend:Backend.t -> t -> Opennf_sb.Runtime.t -> nf
 (** Wire an NF into the controller. The NF must (separately) be attached
     to a switch port bearing its runtime name. [backend] (default: the

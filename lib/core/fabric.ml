@@ -20,6 +20,9 @@ type t = {
   switches : Switch.t array;
   shard_faults : Faults.t array;
   ports : (string, int * Packet.t Channel.t) Hashtbl.t;
+  monitors : Opennf_obs.Monitor.t array;
+      (** Live §5.1 checkers, one per audit stream; [[||]] when the
+          fabric was created without [~monitor:true]. *)
 }
 
 let shards_from_env () =
@@ -32,6 +35,11 @@ let shards_from_env () =
 
 let par_from_env () =
   match Sys.getenv_opt "OPENNF_PAR" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let monitor_from_env () =
+  match Sys.getenv_opt "OPENNF_MONITOR" with
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
@@ -70,13 +78,30 @@ let stitch_switches p ~shards switches audits ports =
 
 let create ?(seed = 1) ?obs ?shard_obs ?config ?flow_mod_delay ?packet_out_rate
     ?(link_latency = 0.0002) ?fault_seed ?resilience ?max_concurrent_ops
-    ?shards ?par () =
+    ?shards ?par ?monitor () =
   let shards =
     match shards with Some n -> n | None -> shards_from_env ()
   in
   if shards < 1 then invalid_arg "Fabric.create: shards must be >= 1";
   let par =
     (match par with Some b -> b | None -> par_from_env ()) && shards > 1
+  in
+  let monitor =
+    match monitor with Some b -> b | None -> monitor_from_env ()
+  in
+  (* One live checker per audit stream. The monitor taps the audit's
+     tracer (the shared hub trace when tracing, the private ledger
+     otherwise) and never schedules or records, so virtual-time results
+     are unchanged. *)
+  let make_monitors audits_distinct =
+    if not monitor then [||]
+    else
+      Array.mapi
+        (fun k audit ->
+          let m = Opennf_obs.Monitor.create ~shard:k () in
+          Opennf_obs.Monitor.attach m (Audit.trace audit);
+          m)
+        audits_distinct
   in
   if not par then begin
     let engine = Engine.create ~seed ?obs () in
@@ -102,6 +127,7 @@ let create ?(seed = 1) ?obs ?shard_obs ?config ?flow_mod_delay ?packet_out_rate
     if shards > 1 then
       Switch.set_packet_in_router switch (fun (p : Packet.t) ->
           Shard.of_key ~shards p.Packet.key);
+    let monitors = make_monitors [| audit |] in
     {
       engine;
       audit;
@@ -117,6 +143,7 @@ let create ?(seed = 1) ?obs ?shard_obs ?config ?flow_mod_delay ?packet_out_rate
       switches = Array.make shards switch;
       shard_faults = Array.make shards faults;
       ports = Hashtbl.create 16;
+      monitors;
     }
   end
   else begin
@@ -157,6 +184,7 @@ let create ?(seed = 1) ?obs ?shard_obs ?config ?flow_mod_delay ?packet_out_rate
     Controller.set_par ctrls.(0) p;
     let ports = Hashtbl.create 16 in
     stitch_switches p ~shards switches audits ports;
+    let monitors = make_monitors audits in
     {
       engine = engines.(0);
       audit = audits.(0);
@@ -172,6 +200,7 @@ let create ?(seed = 1) ?obs ?shard_obs ?config ?flow_mod_delay ?packet_out_rate
       switches;
       shard_faults;
       ports;
+      monitors;
     }
   end
 
@@ -241,3 +270,19 @@ let merged_audit t =
   match t.par with
   | None -> t.audit
   | Some _ -> Audit.merged t.engine (Array.to_list t.audits)
+
+let monitored t = Array.length t.monitors > 0
+
+(* The audit streams, shard-tagged, deduplicated: a serial fabric's
+   [audits] array aliases the one ledger in every slot. *)
+let audit_traces t =
+  match t.par with
+  | None -> [ (0, Audit.trace t.audit) ]
+  | Some _ -> List.mapi (fun k a -> (k, Audit.trace a)) (Array.to_list t.audits)
+
+let verdict ?history t =
+  Opennf_obs.Monitor.merged_verdict ?history (audit_traces t)
+
+let live_findings t =
+  Array.to_list t.monitors
+  |> List.concat_map Opennf_obs.Monitor.findings

@@ -46,6 +46,12 @@ type t = {
       (** NF port registry: name to (home shard, switch-side channel).
           The parallel port proxy routes cross-replica forwards with
           it. *)
+  monitors : Opennf_obs.Monitor.t array;
+      (** Live §5.1 guarantee checkers ({!Opennf_obs.Monitor}), one per
+          audit stream, when the fabric was created with [~monitor:true];
+          [[||]] otherwise. Online findings (order/duplicate) surface on
+          them during the run; use {!verdict} for the full end-of-run
+          check. *)
 }
 
 val create :
@@ -61,6 +67,7 @@ val create :
   ?max_concurrent_ops:int ->
   ?shards:int ->
   ?par:bool ->
+  ?monitor:bool ->
   unit ->
   t
 (** Defaults: [link_latency] 200 µs, switch defaults per {!Switch}, no
@@ -92,7 +99,12 @@ val create :
     per-shard RNG streams in parallel mode, so serial-vs-parallel
     equivalence holds for deterministic fault plans ([crash_at]), not
     random drop profiles. A single [obs] hub cannot span engines: pass
-    [shard_obs] (one hub per shard index) to trace a parallel run. *)
+    [shard_obs] (one hub per shard index) to trace a parallel run.
+
+    [monitor] (default: the [OPENNF_MONITOR] environment variable, else
+    false) attaches one {!Opennf_obs.Monitor} per audit stream — a pure
+    observer, so monitored runs keep virtual-time results byte-identical
+    to unmonitored ones. *)
 
 val shards : t -> int
 
@@ -103,6 +115,22 @@ val merged_audit : t -> Audit.t
 (** The fabric's audit ledger for queries: the single ledger of a
     serial fabric, or the deterministic merge of the per-shard ledgers
     ({!Audit.merged}) of a parallel one. *)
+
+val monitored : t -> bool
+(** Whether live guarantee monitors are attached ([~monitor:true]). *)
+
+val verdict :
+  ?history:int -> t -> Opennf_obs.Monitor.finding list
+(** End-of-run guarantee check: replays the (shard-tagged) audit
+    streams through {!Opennf_obs.Monitor.merged_verdict}, so the result
+    is deterministic regardless of shard count or parallelism — and
+    available on {e any} fabric, monitored or not (the audit ledger is
+    always on). Call after {!run} returns. *)
+
+val live_findings : t -> Opennf_obs.Monitor.finding list
+(** Online findings (order/duplicate violations) streamed by the live
+    monitors so far; [[]] when {!monitored} is false. Per-shard
+    detection order — use {!verdict} for the canonical list. *)
 
 val ctrl_of : t -> int -> Controller.t
 val sched_of : t -> int -> Sched.t

@@ -23,6 +23,9 @@ type phase =
   | Phase1_installed
   | Phase2_installed
 
+(* Deliberately broken protocol variants (monitor test fixtures). *)
+type break_for_test = Skip_order_wait | Drop_buffered
+
 type spec = {
   src : Controller.nf;
   dst : Controller.nf;
@@ -35,17 +38,28 @@ type spec = {
           (§5.1.1: "after several minutes" — long enough for stragglers
           in flight or queued at the source to drain). *)
   on_phase : (phase -> unit) option;
+  break_for_test : break_for_test option;
 }
 
 let spec ~src ~dst ~filter ?(scope = [ Scope.Per ]) ?(guarantee = Loss_free)
     ?options ?parallel ?early_release ?compress ?(disable_grace = 0.5)
-    ?on_phase () =
+    ?on_phase ?break_for_test () =
   let options =
     match options with
     | Some o -> o
     | None -> Op_options.make ?parallel ?early_release ?compress ()
   in
-  { src; dst; filter; scope; guarantee; options; disable_grace; on_phase }
+  {
+    src;
+    dst;
+    filter;
+    scope;
+    guarantee;
+    options;
+    disable_grace;
+    on_phase;
+    break_for_test;
+  }
 
 let validate spec =
   if
@@ -224,7 +238,7 @@ let wait_for_dst t spec ivar =
 (* The two-phase forwarding update plus destination handoff of Figure 6,
    with barriers in place of the paper's wait-for-first-packet (see the
    interface comment). *)
-let order_preserving_handoff t spec ctx =
+let order_preserving_handoff t spec ctx ~frame =
   let engine = Controller.engine t in
   let dst_name = Controller.nf_name spec.dst in
   (* Track which packets dst has finished processing, so we can wait for
@@ -266,6 +280,7 @@ let order_preserving_handoff t spec ctx =
       ];
   ctx.phase_cookies <- cookie1 :: ctx.phase_cookies;
   Controller.barrier t;
+  Op_engine.mark frame "phase1";
   fire spec Phase1_installed;
   (* Phase 2: directly to the destination. *)
   let cookie2 = Controller.fresh_cookie t in
@@ -274,21 +289,30 @@ let order_preserving_handoff t spec ctx =
     ~actions:[ Flowtable.Forward dst_name ];
   ctx.phase_cookies <- cookie2 :: ctx.phase_cookies;
   Controller.barrier t;
+  Op_engine.mark frame "phase2";
   fire spec Phase2_installed;
   (* The switch→controller channel is FIFO, so after the phase-2 barrier
      reply every phase-1 packet-in has been received: [!last_packet] is
      the true last packet forwarded toward the source. *)
   let* () =
-    match !last_packet with
-    | None -> Ok ()
-    | Some p ->
-      if Hashtbl.mem dst_processed p.Packet.id then Ok ()
-      else begin
-        let ivar = Proc.Ivar.create engine in
-        waiting := Some (p.Packet.id, ivar);
-        wait_for_dst t spec ivar
-      end
+    match spec.break_for_test with
+    | Some Skip_order_wait ->
+      (* Fixture: release the destination's buffer without waiting for
+         the last source-bound packet — relayed stragglers then race the
+         buffered phase-2 packets, the §5.1.2 inversion. *)
+      Ok ()
+    | Some Drop_buffered | None -> (
+      match !last_packet with
+      | None -> Ok ()
+      | Some p ->
+        if Hashtbl.mem dst_processed p.Packet.id then Ok ()
+        else begin
+          let ivar = Proc.Ivar.create engine in
+          waiting := Some (p.Packet.id, ivar);
+          wait_for_dst t spec ivar
+        end)
   in
+  Op_engine.mark frame "handoff";
   (* Release the packets buffered at the destination. *)
   Controller.disable_events t spec.dst spec.filter;
   (* Permanent route, then retire the phase rules. *)
@@ -432,7 +456,17 @@ let run ?notify_release t spec =
     let* () =
       Op_engine.deadline_guard frame ~nf:(Controller.nf_name spec.dst)
     in
-    if lossfree then flush_all rs;
+    (* Fixture: a buggy controller that loses one buffered packet on the
+       flush — the canonical loss-freedom violation the monitor exists
+       to catch. *)
+    (match spec.break_for_test with
+    | Some Drop_buffered when not (Queue.is_empty rs.global_q) ->
+      ignore (Queue.pop rs.global_q)
+    | Some _ | None -> ());
+    if lossfree then begin
+      flush_all rs;
+      Op_engine.mark frame "flush"
+    end;
     match spec.guarantee with
     | No_guarantee | Loss_free ->
       ctx.final_cookie <- Some (reroute_final t spec);
@@ -448,7 +482,7 @@ let run ?notify_release t spec =
             Option.iter (fun sub -> Controller.unsubscribe t sub) src_sub);
       Ok ()
     | Order_preserving ->
-      let* () = order_preserving_handoff t spec ctx in
+      let* () = order_preserving_handoff t spec ctx ~frame in
       (* Safe here: the handoff waited for the destination to process
          the last packet the switch ever sent toward the source. *)
       Controller.disable_events t spec.src spec.filter;

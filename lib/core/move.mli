@@ -57,6 +57,18 @@ type phase =
   | Phase1_installed  (** Two-phase update: src + controller rule live. *)
   | Phase2_installed  (** Two-phase update: dst rule live. *)
 
+(** Deliberately broken-protocol knobs for exercising the runtime
+    monitor ({!Opennf_obs.Monitor}): each reproduces a classic buggy
+    controller. {b Test fixtures only} — never set in production specs. *)
+type break_for_test =
+  | Skip_order_wait
+      (** Order-preserving handoff releases the destination's buffer
+          without waiting for the last source-bound packet — the race
+          the §5.1.2 two-phase wait exists to close. *)
+  | Drop_buffered
+      (** The flush at the end of a loss-free move silently discards
+          the first buffered packet instead of relaying it. *)
+
 type spec = {
   src : Controller.nf;
   dst : Controller.nf;
@@ -74,6 +86,7 @@ type spec = {
           this long after the move completes (the paper's "after
           several minutes", §5.1.1; default 0.5 s of virtual time). *)
   on_phase : (phase -> unit) option;
+  break_for_test : break_for_test option;  (** Seeded-violation fixtures. *)
 }
 
 val spec :
@@ -88,6 +101,7 @@ val spec :
   ?compress:bool ->
   ?disable_grace:float ->
   ?on_phase:(phase -> unit) ->
+  ?break_for_test:break_for_test ->
   unit ->
   spec
 (** Defaults: scope [[Per]], [Loss_free], optimizations off. [options]

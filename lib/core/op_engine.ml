@@ -34,19 +34,32 @@ let start ?(kind = "op") ctrl ~options =
   let obs = Controller.obs ctrl in
   let metrics = Opennf_obs.Hub.metrics obs in
   Opennf_obs.Metrics.incr (Opennf_obs.Metrics.counter metrics "op.started");
+  (* When the scheduler admitted us it left its entry's span as the
+     ambient parent (consumed here even when not tracing, so a stale
+     value never leaks to a later op). *)
+  let parent = Controller.take_op_parent ctrl in
   let span =
     if Controller.shard_count ctrl > 1 then
-      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op"
+      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~parent ~cat:"op"
         ~name:kind
         ~attrs:[| ("shard", Opennf_obs.Trace.Int (Controller.shard_id ctrl)) |]
         ()
     else
-      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~cat:"op"
+      Opennf_obs.Trace.span_open (Opennf_obs.Hub.trace obs) ~parent ~cat:"op"
         ~name:kind ()
   in
   { ctrl; engine; started = Engine.now engine; options; obs; span }
 
 let now frame = Engine.now frame.engine
+
+(* Op-level phase mark: an instant under the operation's own span, for
+   protocol steps that happen outside a transfer (buffer flushes, the
+   two-phase handoff). Free when not tracing. *)
+let mark frame name =
+  if frame.span <> 0 then
+    Opennf_obs.Trace.instant
+      (Opennf_obs.Hub.trace frame.obs)
+      ~parent:frame.span ~cat:"op" ~name ()
 
 (* --- observation ----------------------------------------------------------- *)
 

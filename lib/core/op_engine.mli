@@ -51,6 +51,11 @@ val start : ?kind:string -> Controller.t -> options:Op_options.t -> frame
 
 val now : frame -> float
 
+val mark : frame -> string -> unit
+(** Phase-mark instant under the op's span — for protocol steps outside
+    a transfer (buffer flush, two-phase handoff), so critical-path
+    analysis can attribute their time. No-op when not tracing. *)
+
 val finish :
   frame -> ('a, Op_error.t) result -> ('a, Op_error.t) result
 (** Terminal accounting: bumps ["op.completed"] or

@@ -202,6 +202,11 @@ let submit t ~footprint body =
   let ivar = Proc.Ivar.create t.engine in
   let start () =
     Proc.spawn t.engine (fun () ->
+        (* Hand the entry's span to the op the body is about to start:
+           Op_engine.start consumes it before the body's first blocking
+           point, so the op span nests under this scheduler span and
+           critical-path analysis can attribute the queue wait. *)
+        if span <> 0 then Controller.set_op_parent t.ctrl span;
         let result = body () in
         (* Retire (and pump the queue) before resolving the ivar, so
            waiters in line get the slot ahead of whatever the submitter

@@ -39,6 +39,8 @@ let create engine =
     first_process = Hashtbl.create 1024;
   }
 
+let trace t = t.trace
+
 (* Standard IP protocol numbers, so traces read like packet captures. *)
 let proto_code = function Flow.Tcp -> 6 | Flow.Udp -> 17 | Flow.Icmp -> 1
 let proto_of_code = function 17 -> Flow.Udp | 1 -> Flow.Icmp | _ -> Flow.Tcp
@@ -74,6 +76,17 @@ let decode (ev : Trace.ev) =
         ~sport:(int 5) ~dport:(int 6) ();
     time = ev.Trace.vt;
   }
+
+(* Live subscription: ride the tracer's sink instead of folding the
+   buffer after the fact. The tap fires synchronously per audit instant,
+   in emission order, decoding on the fly; non-audit events sharing the
+   hub trace are filtered out. Decoding allocates, so this is strictly
+   an opt-in path — an audit without subscribers records exactly as
+   before. *)
+let on_record t f =
+  Trace.on_event t.trace (fun ev ->
+      if ev.Trace.kind = Trace.Instant && ev.Trace.cat = "audit" then
+        f ev.Trace.name (decode ev))
 
 (* Chronological records of one audit event kind: the trace buffer is
    already in emission order, so a single forward scan suffices. *)

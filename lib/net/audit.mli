@@ -27,6 +27,20 @@ val merged : Opennf_sim.Engine.t -> t list -> t
     identical to a serial run's, since one flow's packets all live on
     one shard. A query snapshot: do not log to it. *)
 
+val trace : t -> Opennf_obs.Trace.t
+(** The tracer this ledger records through — the shared hub trace when
+    the engine's hub is tracing, the audit's private always-on tracer
+    otherwise. Streaming checkers ({!Opennf_obs.Monitor}) attach here. *)
+
+type record = { pkt : int; key : Flow.key; nf : string; time : float }
+
+val on_record : t -> (string -> record -> unit) -> unit
+(** Subscribe to the live ledger: [f name record] runs synchronously on
+    every audit event as it is logged (names: ["arrival"], ["forward"],
+    ["nf_arrival"], ["process"], ["drop"], ["event"], ["buffer"]), in
+    emission order. The callback must observe only — it must not log
+    back into the ledger or touch the simulation. *)
+
 (** {1 Recording} *)
 
 val log_forward : t -> Packet.t -> dst:string -> unit

@@ -1,0 +1,248 @@
+(* Span-tree reconstruction and phase attribution over a trace buffer.
+
+   An op's timeline is partitioned by boundary events — child span
+   opens/closes (transfer, rollback) and phase-mark instants — and each
+   segment is labeled by the boundary that ends it: the segment before
+   the "captured" mark is capture work, the segment ending at a child
+   open is inter-phase wait, the tail after the last boundary is the
+   finish (barriers, grace scheduling). Labels aggregate per name, so a
+   parallel transfer's 500 "ack" marks become one slice. *)
+
+type op_path = {
+  cp_span : int;
+  cp_op : string;
+  cp_shard : int;
+  cp_open : float;
+  cp_close : float;
+  cp_total : float;
+  cp_queue_wait : float;
+  cp_status : string;
+  cp_slices : (string * float) list;
+}
+
+type boundary = Mark of string | Child_open of string | Child_close of string
+
+let str_attr attrs key =
+  let r = ref "" in
+  Array.iter
+    (fun (k, v) -> match v with Trace.Str s when k = key -> r := s | _ -> ())
+    attrs;
+  !r
+
+let int_attr attrs key =
+  let r = ref 0 in
+  Array.iter
+    (fun (k, v) -> match v with Trace.Int i when k = key -> r := i | _ -> ())
+    attrs;
+  !r
+
+let analyze tr =
+  (* One pass indexes the buffer: opens by id, closes by id (with the
+     buffer position, which orders the result), instants by parent. *)
+  let opens : (int, Trace.ev) Hashtbl.t = Hashtbl.create 64 in
+  let closes : (int, int * Trace.ev) Hashtbl.t = Hashtbl.create 64 in
+  let marks : (int, (float * int * string) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let pos = ref 0 in
+  Trace.iter tr (fun ev ->
+      (match ev.Trace.kind with
+      | Trace.Begin ->
+        if not (Hashtbl.mem opens ev.Trace.id) then
+          Hashtbl.add opens ev.Trace.id ev
+      | Trace.End ->
+        if not (Hashtbl.mem closes ev.Trace.id) then
+          Hashtbl.add closes ev.Trace.id (!pos, ev)
+      | Trace.Instant ->
+        if ev.Trace.parent <> 0 then
+          Hashtbl.replace marks ev.Trace.parent
+            ((ev.Trace.vt, !pos, ev.Trace.name)
+            :: Option.value ~default:[]
+                 (Hashtbl.find_opt marks ev.Trace.parent)));
+      incr pos);
+  let is_op id =
+    match Hashtbl.find_opt opens id with
+    | Some ev -> ev.Trace.cat = "op"
+    | None -> false
+  in
+  (* Direct children of each root op span. *)
+  let children : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id (ev : Trace.ev) ->
+      if ev.Trace.cat = "op" && ev.Trace.parent <> 0 && is_op ev.Trace.parent
+      then
+        Hashtbl.replace children ev.Trace.parent
+          (id :: Option.value ~default:[] (Hashtbl.find_opt children ev.Trace.parent)))
+    opens;
+  let queue_wait (root : Trace.ev) =
+    (* The op span's parent, when present, is its scheduler entry's
+       span: open at enqueue, "admit" instant at admission. *)
+    match Hashtbl.find_opt opens root.Trace.parent with
+    | Some sched when sched.Trace.cat = "sched" -> (
+      match Hashtbl.find_opt marks root.Trace.parent with
+      | Some ms -> (
+        match
+          List.find_opt (fun (_, _, name) -> name = "admit") (List.rev ms)
+        with
+        | Some (vt, _, _) -> vt -. sched.Trace.vt
+        | None -> 0.0)
+      | None -> 0.0)
+    | Some _ | None -> 0.0
+  in
+  let path_of id (root : Trace.ev) close_ev =
+    let t0 = root.Trace.vt in
+    let t1 = (close_ev : Trace.ev).Trace.vt in
+    (* Boundary points inside [t0, t1], ordered by (vt, buffer pos). *)
+    let bounds = ref [] in
+    let add vt pos b = bounds := (vt, pos, b) :: !bounds in
+    (match Hashtbl.find_opt marks id with
+    | Some ms -> List.iter (fun (vt, p, name) -> add vt p (Mark name)) ms
+    | None -> ());
+    List.iter
+      (fun cid ->
+        match (Hashtbl.find_opt opens cid, Hashtbl.find_opt closes cid) with
+        | Some co, Some (cpos, cc) ->
+          let cname = co.Trace.name in
+          let has_marks = Hashtbl.mem marks cid in
+          add co.Trace.vt 0 (Child_open cname);
+          add cc.Trace.vt cpos
+            (Child_close (if has_marks then cname ^ "/tail" else cname));
+          (match Hashtbl.find_opt marks cid with
+          | Some ms ->
+            List.iter
+              (fun (vt, p, name) -> add vt p (Mark (cname ^ "/" ^ name)))
+              ms
+          | None -> ())
+        | _ -> ())
+      (Option.value ~default:[] (Hashtbl.find_opt children id));
+    let bounds =
+      List.sort
+        (fun ((a : float), (b : int), _) (c, d, _) -> compare (a, b) (c, d))
+        !bounds
+    in
+    let slices : (string, float) Hashtbl.t = Hashtbl.create 16 in
+    let slice name dur =
+      if dur <> 0.0 then
+        Hashtbl.replace slices name
+          (dur +. Option.value ~default:0.0 (Hashtbl.find_opt slices name))
+    in
+    let cur = ref t0 in
+    List.iter
+      (fun (vt, _, b) ->
+        let label =
+          match b with
+          | Mark m -> m
+          | Child_open _ -> "wait"
+          | Child_close l -> l
+        in
+        slice label (vt -. !cur);
+        cur := vt)
+      bounds;
+    slice "finish" (t1 -. !cur);
+    {
+      cp_span = id;
+      cp_op = root.Trace.name;
+      cp_shard = int_attr root.Trace.attrs "shard";
+      cp_open = t0;
+      cp_close = t1;
+      cp_total = t1 -. t0;
+      cp_queue_wait = queue_wait root;
+      cp_status = str_attr (close_ev : Trace.ev).Trace.attrs "status";
+      cp_slices =
+        List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) slices []);
+    }
+  in
+  let roots = ref [] in
+  Hashtbl.iter
+    (fun id (ev : Trace.ev) ->
+      if
+        ev.Trace.cat = "op"
+        && (ev.Trace.parent = 0 || not (is_op ev.Trace.parent))
+      then
+        match Hashtbl.find_opt closes id with
+        | Some (cpos, close_ev) ->
+          roots := (cpos, path_of id ev close_ev) :: !roots
+        | None -> ())
+    opens;
+  List.map snd
+    (List.sort (fun ((a : int), _) (b, _) -> compare a b) !roots)
+
+let total ops = List.fold_left (fun acc o -> acc +. o.cp_total) 0.0 ops
+
+let observe m ops =
+  List.iter
+    (fun o ->
+      Metrics.observe (Metrics.hist m ("cp." ^ o.cp_op ^ ".total_s")) o.cp_total;
+      Metrics.observe (Metrics.hist m "cp.queue_wait_s") o.cp_queue_wait;
+      List.iter
+        (fun (name, dur) ->
+          Metrics.observe
+            (Metrics.hist m ("cp." ^ o.cp_op ^ "." ^ name ^ "_s"))
+            dur)
+        o.cp_slices)
+    ops
+
+let folded ops =
+  let stacks : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let bump stack dur =
+    Hashtbl.replace stacks stack
+      (dur +. Option.value ~default:0.0 (Hashtbl.find_opt stacks stack))
+  in
+  List.iter
+    (fun o ->
+      if o.cp_queue_wait > 0.0 then bump (o.cp_op ^ ";queue_wait") o.cp_queue_wait;
+      List.iter (fun (name, dur) -> bump (o.cp_op ^ ";" ^ name) dur) o.cp_slices)
+    ops;
+  let lines =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stacks [])
+  in
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (stack, dur) ->
+      (* Virtual nanoseconds: integral, which folded-stack consumers
+         expect, and lossless at simulation timescales. *)
+      Buffer.add_string b
+        (Printf.sprintf "%s %.0f\n" stack (Float.round (dur *. 1e9))))
+    lines;
+  Buffer.contents b
+
+let report ops =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "critical path: %d completed op(s)\n" (List.length ops));
+  if ops <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\n  %-6s %-10s %-5s %-6s %12s %12s\n" "span" "op"
+         "shard" "status" "queue_ms" "total_ms");
+    List.iter
+      (fun o ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-6d %-10s %-5d %-6s %12.6f %12.6f\n" o.cp_span
+             o.cp_op o.cp_shard o.cp_status
+             (1000.0 *. o.cp_queue_wait)
+             (1000.0 *. o.cp_total)))
+      ops;
+    (* Aggregate the slices by op kind for the attribution table. *)
+    let agg : (string, float * int) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun o ->
+        List.iter
+          (fun (name, dur) ->
+            let key = o.cp_op ^ "." ^ name in
+            let s, n =
+              Option.value ~default:(0.0, 0) (Hashtbl.find_opt agg key)
+            in
+            Hashtbl.replace agg key (s +. dur, n + 1))
+          o.cp_slices)
+      ops;
+    Buffer.add_string b "\n  phase attribution (virtual ms, per op kind):\n";
+    List.iter
+      (fun (key, (sum, n)) ->
+        Buffer.add_string b
+          (Printf.sprintf "    %-36s %12.6f  (x%d)\n" key (1000.0 *. sum) n))
+      (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []));
+    Buffer.add_string b
+      (Printf.sprintf "\n  ops total: %.9f s (close order)\n" (total ops))
+  end;
+  Buffer.contents b

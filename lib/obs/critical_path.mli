@@ -1,0 +1,52 @@
+(** Critical-path latency attribution for completed operations.
+
+    Reconstructs each closed root op span (cat ["op"]) from a trace
+    buffer, together with its child spans (transfers, rollbacks) and
+    phase-mark instants, and partitions the op's virtual duration into
+    named phase slices — capture, install, ack, buffer flush, handoff
+    waits, and the residual barrier/settle time. The scheduler queue
+    wait (sched span open → admit) is attributed separately: it is time
+    spent {e before} the op's own clock starts, so it never perturbs
+    the op-total reconciliation below.
+
+    Totals reconcile exactly: an op's [cp_total] is the same float the
+    engine observed into the [op.duration_s] histogram (both are
+    [close - open] of the same clock reads), and {!total} sums the ops
+    in close order — the histogram's observation order — so
+    [total (analyze tr) = Stats.Histogram.sum h] bit for bit. *)
+
+type op_path = {
+  cp_span : int;  (** Root op span id. *)
+  cp_op : string;  (** Op name: ["move"], ["copy"], … *)
+  cp_shard : int;
+  cp_open : float;  (** Virtual open time. *)
+  cp_close : float;
+  cp_total : float;  (** [cp_close -. cp_open]. *)
+  cp_queue_wait : float;  (** Sched admission wait; 0 when unlinked. *)
+  cp_status : string;  (** ["ok"] / ["error"] / [""]. *)
+  cp_slices : (string * float) list;
+      (** Phase attribution, aggregated by phase name (sorted): e.g.
+          [("transfer/captured", d)]. Slice durations sum to [cp_total]
+          up to float associativity. *)
+}
+
+val analyze : Trace.t -> op_path list
+(** Closed root op spans in close order (the [op.duration_s]
+    observation order). Unclosed spans are skipped. *)
+
+val total : op_path list -> float
+(** Left fold of [cp_total] in list order — comparable bit-for-bit with
+    [Stats.Histogram.sum] of [op.duration_s]. *)
+
+val observe : Metrics.t -> op_path list -> unit
+(** Per-phase histograms into a registry: [cp.<op>.<phase>_s] per
+    slice, [cp.<op>.total_s], and [cp.queue_wait_s]. *)
+
+val folded : op_path list -> string
+(** Flamegraph-style folded stacks, one line per [op;phase] with the
+    summed virtual nanoseconds — pipe into a flamegraph renderer. Lines
+    sorted; deterministic. *)
+
+val report : op_path list -> string
+(** Human rendering: per-op table plus aggregated phase attribution.
+    Virtual-time data only — identical runs give identical bytes. *)

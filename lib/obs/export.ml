@@ -191,13 +191,65 @@ let metrics_json m =
       buf_add_json_string b n;
       Buffer.add_string b
         (Printf.sprintf
-           ": {\"count\": %d, \"mean\": %.9f, \"p50\": %.9f, \"p90\": %.9f, \
-            \"p99\": %.9f, \"max\": %.9f}"
-           (Stats.Histogram.count h) (Stats.Histogram.mean h)
+           ": {\"count\": %d, \"sum\": %.9f, \"mean\": %.9f, \"p50\": %.9f, \
+            \"p90\": %.9f, \"p99\": %.9f, \"max\": %.9f}"
+           (Stats.Histogram.count h) (Stats.Histogram.sum h)
+           (Stats.Histogram.mean h)
            (Stats.Histogram.quantile h 0.50)
            (Stats.Histogram.quantile h 0.90)
            (Stats.Histogram.quantile h 0.99)
            (if Stats.Histogram.count h = 0 then 0.0 else Stats.Histogram.max h)))
     (Metrics.hists m);
   Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+(* OpenMetrics text exposition. Instrument names sanitize to the metric
+   charset ([a-zA-Z0-9_:]); histograms expose as summaries with the
+   log-bucket quantiles (p50/p90/p99), an exact _sum and a _count, so a
+   scraper sees real tail latencies, not just totals. *)
+let om_name n =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    n
+
+let om_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let openmetrics m =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (n, v) ->
+      let n = om_name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string b (Printf.sprintf "%s_total %d\n" n v))
+    (Metrics.counters m);
+  List.iter
+    (fun (n, last, peak) ->
+      let n = om_name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string b (Printf.sprintf "%s %s\n" n (om_float last));
+      Buffer.add_string b (Printf.sprintf "# TYPE %s_peak gauge\n" n);
+      Buffer.add_string b (Printf.sprintf "%s_peak %s\n" n (om_float peak)))
+    (Metrics.gauges m);
+  List.iter
+    (fun (n, h) ->
+      let n = om_name n in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+      List.iter
+        (fun q ->
+          Buffer.add_string b
+            (Printf.sprintf "%s{quantile=\"%.2f\"} %s\n" n q
+               (om_float (Stats.Histogram.quantile h q))))
+        [ 0.50; 0.90; 0.99 ];
+      Buffer.add_string b
+        (Printf.sprintf "%s_sum %s\n" n (om_float (Stats.Histogram.sum h)));
+      Buffer.add_string b
+        (Printf.sprintf "%s_count %d\n" n (Stats.Histogram.count h)))
+    (Metrics.hists m);
+  Buffer.add_string b "# EOF\n";
   Buffer.contents b

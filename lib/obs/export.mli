@@ -20,4 +20,12 @@ val canonical : Trace.t list -> string
     trace equivalence is string equality of [canonical]. *)
 
 val metrics_json : Metrics.t -> string
-(** Counters/gauges/histogram summaries as JSON, sorted by name. *)
+(** Counters/gauges/histogram summaries as JSON, sorted by name.
+    Histograms carry count, exact sum, mean, p50/p90/p99 (log-bucket
+    quantiles) and max. *)
+
+val openmetrics : Metrics.t -> string
+(** OpenMetrics text exposition: counters as [<name>_total], gauges as
+    last value plus a [<name>_peak] companion, histograms as summaries
+    with p50/p90/p99 quantile lines, [_sum] and [_count]. Names are
+    sanitized to the metric charset; ends with [# EOF]. *)

@@ -60,6 +60,23 @@ let create ?(enabled = true) () =
   if enabled then t.sink <- append t;
   t
 
+(* Streaming subscription: [f] runs on every event, after the buffer
+   append, in emission order. Implemented by wrapping the sink function,
+   so a tracer without taps keeps the bare [append] sink (no per-event
+   indirection added) and the disabled tracer — whose recording entry
+   points never reach the sink — stays at one boolean load per call.
+   Taps must not record through the same tracer (the append buffer may
+   be mid-resize) and must not touch the simulation: they are observers,
+   not participants. *)
+let on_event t f =
+  if t.on then begin
+    let prev = t.sink in
+    t.sink <-
+      (fun ev ->
+        prev ev;
+        f ev)
+  end
+
 (* The shared off switch: recording functions bail on [on = false]
    before touching the clock or the sink, so a disabled tracer costs one
    boolean load and allocates nothing. *)

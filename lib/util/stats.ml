@@ -96,6 +96,7 @@ module Histogram = struct
     t.buckets.(i) <- t.buckets.(i) + 1
 
   let count t = t.count
+  let sum t = t.sum
   let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
   let min t = t.mn
   let max t = t.mx

@@ -36,6 +36,12 @@ module Histogram : sig
   val create : unit -> t
   val add : t -> float -> unit
   val count : t -> int
+
+  val sum : t -> float
+  (** Exact running sum of every sample added, in addition order — the
+      float you get by folding [+.] over the observations yourself, so
+      external per-item totals can be reconciled against it exactly. *)
+
   val mean : t -> float
   (** Exact (from a running sum), not bucket-approximated. 0 if empty. *)
 

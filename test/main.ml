@@ -27,4 +27,5 @@ let () =
       ("faults", Test_faults.suite);
       ("backend", Test_backend.suite);
       ("obs", Test_obs.suite);
+      ("monitor", Test_monitor.suite);
     ]
